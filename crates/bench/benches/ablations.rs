@@ -1,0 +1,132 @@
+//! Ablation bench target: prints the loan-threshold sweep (the paper's
+//! future-work experiment), the scheduling-policy comparison, the
+//! optimization on/off comparison and the hierarchical ("cloud") topology
+//! experiment from the paper's conclusion; Criterion then times the loan
+//! variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mra_core::LassConfig;
+use mra_sim::{LatencyModel, Sim};
+use mra_workloads::experiments::{ablation_loan, ablation_policy};
+use mra_workloads::{run, Algorithm, Load, PaperWorkload, Scenario, Table};
+use mra_types::Time;
+
+fn print_ablations() {
+    let secs = std::env::var("MRA_MEASURE_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0);
+    println!("{}", ablation_loan(&[0, 1, 2, 3, 4], 8, Load::High, 42, secs).render());
+    println!("{}", ablation_policy(16, Load::High, 42, secs).render());
+
+    // Optimization toggles (§4.6): messages per CS with each optimization
+    // disabled in turn.
+    let mut t = Table::new(
+        "Optimization ablation (phi = 4, high load)",
+        &["variant", "msgs/cs", "use rate [%]", "mean wait [ms]"],
+    );
+    let variants: [(&str, fn(&mut LassConfig)); 4] = [
+        ("all on", |_| {}),
+        ("no single-resource opt", |c| c.opt_single_resource = false),
+        ("no stop-forwarding", |c| c.opt_stop_forwarding = false),
+        ("no father shortcut", |c| c.opt_shortcut_on_counter = false),
+    ];
+    for (label, tweak) in variants {
+        let sc = Scenario::builder()
+            .load(Load::High)
+            .max_request_size(4)
+            .seed(42)
+            .measure_secs(secs)
+            .build();
+        let mut cfg = LassConfig::with_loan(sc.n, sc.m);
+        tweak(&mut cfg);
+        let res = Sim::new(
+            cfg.build_nodes(),
+            PaperWorkload::per_node(&sc, sc.n),
+            sc.m,
+            sc.sim_config(),
+        )
+        .run();
+        t.row(vec![
+            label.into(),
+            format!("{:.1}", res.msgs_per_cs()),
+            format!("{:.1}", 100.0 * res.use_rate()),
+            format!("{:.1}", res.wait_stats().mean_ms),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Cloud topology (paper §6 future work): two clusters, expensive
+    // inter-cluster links; LASS's lack of a global lock should keep
+    // non-conflicting traffic local.
+    let mut t = Table::new(
+        "Hierarchical topology (2 clusters, intra 0.1ms, inter 5ms, phi = 4, high load)",
+        &["algorithm", "use rate [%]", "mean wait [ms]", "msgs/cs"],
+    );
+    for algo_cfg in [("Bouabdallah Laforest", None), ("With loan", Some(1usize))] {
+        let sc = Scenario::builder()
+            .load(Load::High)
+            .max_request_size(4)
+            .seed(42)
+            .measure_secs(secs)
+            .build();
+        let latency = LatencyModel::two_clusters(
+            sc.n,
+            sc.n / 2,
+            Time::from_micros(100),
+            Time::from_millis(5),
+        );
+        let mut sim_cfg = sc.sim_config();
+        sim_cfg.latency = latency;
+        let res = match algo_cfg.1 {
+            None => {
+                let nodes = mra_baselines::BouabdallahLaforest::build_nodes(sc.n, sc.m);
+                Sim::new(nodes, PaperWorkload::per_node(&sc, sc.n), sc.m, sim_cfg).run()
+            }
+            Some(th) => {
+                let mut cfg = LassConfig::with_loan(sc.n, sc.m);
+                cfg.loan = Some(th);
+                Sim::new(
+                    cfg.build_nodes(),
+                    PaperWorkload::per_node(&sc, sc.n),
+                    sc.m,
+                    sim_cfg,
+                )
+                .run()
+            }
+        };
+        t.row(vec![
+            algo_cfg.0.into(),
+            format!("{:.1}", 100.0 * res.use_rate()),
+            format!("{:.1}", res.wait_stats().mean_ms),
+            format!("{:.1}", res.msgs_per_cs()),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    print_ablations();
+    let mut group = c.benchmark_group("loan");
+    group.sample_size(10);
+    for (label, algo) in [
+        ("without", Algorithm::LassNoLoan),
+        ("with", Algorithm::LassLoan),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let sc = Scenario::builder()
+                    .load(Load::High)
+                    .max_request_size(8)
+                    .seed(17)
+                    .measure_secs(0.5)
+                    .build();
+                std::hint::black_box(run(algo, &sc).cs_completed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

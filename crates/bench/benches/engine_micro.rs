@@ -1,0 +1,95 @@
+//! Engine and data-structure microbenchmarks: bitset algebra, token queue
+//! operations, protocol handler throughput (via `VirtualNet`) and raw
+//! simulator event throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mra_core::{LassConfig, ResReq, Token};
+use mra_protocol::testkit::{run_random_workload, ExerciseCfg, VirtualNet};
+use mra_sim::{FixedWorkload, Sim, SimConfig};
+use mra_types::{BitSet256, Time};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_bitset(c: &mut Criterion) {
+    let a: BitSet256 = (0..80).step_by(2).collect();
+    let b: BitSet256 = (0..80).step_by(3).collect();
+    c.bench_function("bitset/union+count", |bch| {
+        bch.iter(|| std::hint::black_box(a.union(&b).len()))
+    });
+    c.bench_function("bitset/subset+disjoint", |bch| {
+        bch.iter(|| std::hint::black_box(a.is_subset(&b) ^ a.is_disjoint(&b)))
+    });
+    c.bench_function("bitset/iterate80", |bch| {
+        bch.iter(|| std::hint::black_box(a.iter().sum::<usize>()))
+    });
+}
+
+fn bench_token_queue(c: &mut Criterion) {
+    c.bench_function("token/enqueue32_dequeue32", |b| {
+        b.iter(|| {
+            let mut t = Token::new(0, 32);
+            for s in 0..32 {
+                t.enqueue_res(ResReq {
+                    r: 0,
+                    sinit: s,
+                    id: 1,
+                    mark: ((s * 7) % 13) as f64,
+                });
+            }
+            let mut sum = 0usize;
+            while let Some(q) = t.dequeue() {
+                sum += q.sinit;
+            }
+            std::hint::black_box(sum)
+        })
+    });
+}
+
+fn bench_protocol_cycle(c: &mut Criterion) {
+    c.bench_function("virtualnet/lass_5n8m_30cs", |b| {
+        b.iter(|| {
+            let cfg = LassConfig::with_loan(5, 8);
+            let mut net = VirtualNet::new(cfg.build_nodes(), 8);
+            let mut rng = StdRng::seed_from_u64(3);
+            let ex = ExerciseCfg {
+                rounds_per_node: 6,
+                max_req_size: 4,
+                m: 8,
+                hold_steps: 2,
+                active_nodes: None,
+                step_cap: 2_000_000,
+            };
+            std::hint::black_box(run_random_workload(&mut net, &ex, &mut rng).cs_completed)
+        })
+    });
+}
+
+fn bench_sim_engine(c: &mut Criterion) {
+    c.bench_function("sim/lass_32n80m_1s_virtual", |b| {
+        b.iter(|| {
+            let cfg = LassConfig::with_loan(32, 80);
+            let wl: Vec<FixedWorkload> = (0..32)
+                .map(|_| FixedWorkload {
+                    think: Time::from_millis(5),
+                    cs: Time::from_millis(10),
+                    m: 80,
+                    size: 4,
+                })
+                .collect();
+            let mut sim_cfg = SimConfig::quick(5);
+            sim_cfg.measure = Time::from_millis(500);
+            sim_cfg.drain = Time::from_millis(500);
+            let res = Sim::new(cfg.build_nodes(), wl, 80, sim_cfg).run();
+            std::hint::black_box(res.cs_completed)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_bitset,
+    bench_token_queue,
+    bench_protocol_cycle,
+    bench_sim_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Bench target for **Figure 5**: prints the full use-rate tables once
+//! (scaled-down sweep unless `MRA_MEASURE_SECS` overrides), then lets
+//! Criterion time one representative point per algorithm so regressions in
+//! simulation throughput are visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mra_workloads::experiments::{fig5, fig5_tables};
+use mra_workloads::{run, Algorithm, Load, Scenario};
+
+fn print_figure_once() {
+    // Short windows keep `cargo bench` snappy; the dedicated binary runs
+    // the full-length version.
+    let secs = std::env::var("MRA_MEASURE_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0);
+    let phis = [1usize, 4, 16, 40, 80];
+    let rows = fig5(&[Load::Medium, Load::High], &phis, 42, secs);
+    for t in fig5_tables(&rows) {
+        println!("{}", t.render());
+    }
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    print_figure_once();
+    let mut group = c.benchmark_group("fig5_point");
+    group.sample_size(10);
+    for algo in Algorithm::fig5_set() {
+        group.bench_function(algo.label(), |b| {
+            b.iter(|| {
+                let sc = Scenario::builder()
+                    .load(Load::High)
+                    .max_request_size(16)
+                    .seed(7)
+                    .measure_secs(0.5)
+                    .build();
+                let res = run(algo, &sc);
+                std::hint::black_box(res.cs_completed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

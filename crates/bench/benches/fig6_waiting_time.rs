@@ -1,0 +1,35 @@
+//! Bench target for **Figure 6**: prints the waiting-time table (φ = 4,
+//! both loads), then times the φ = 4 high-load scenario per algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mra_workloads::experiments::{fig6, fig6_table};
+use mra_workloads::{run, Algorithm, Load, Scenario};
+
+fn bench_fig6(c: &mut Criterion) {
+    let secs = std::env::var("MRA_MEASURE_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3.0);
+    let rows = fig6(&[Load::Medium, Load::High], 42, secs);
+    println!("{}", fig6_table(&rows).render());
+
+    let mut group = c.benchmark_group("fig6_point");
+    group.sample_size(10);
+    for algo in Algorithm::fig6_set() {
+        group.bench_function(algo.label(), |b| {
+            b.iter(|| {
+                let sc = Scenario::builder()
+                    .load(Load::High)
+                    .max_request_size(4)
+                    .seed(11)
+                    .measure_secs(0.5)
+                    .build();
+                std::hint::black_box(run(algo, &sc).wait_stats().mean_ms)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Bench target for **Figure 7**: prints the waiting-time-by-size tables
+//! (φ = 80), then times the φ = 80 scenario per algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mra_workloads::experiments::{fig7, fig7_tables};
+use mra_workloads::{run, Algorithm, Load, Scenario};
+
+fn bench_fig7(c: &mut Criterion) {
+    let secs = std::env::var("MRA_MEASURE_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3.0);
+    let rows = fig7(&[Load::Medium, Load::High], 42, secs);
+    for t in fig7_tables(&rows) {
+        println!("{}", t.render());
+    }
+
+    let mut group = c.benchmark_group("fig7_point");
+    group.sample_size(10);
+    for algo in Algorithm::fig6_set() {
+        group.bench_function(algo.label(), |b| {
+            b.iter(|| {
+                let sc = Scenario::builder()
+                    .load(Load::High)
+                    .max_request_size(80)
+                    .seed(13)
+                    .measure_secs(0.5)
+                    .build();
+                std::hint::black_box(run(algo, &sc).cs_completed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Scaling extension: how the algorithms behave as the system grows
+//! (N ∈ {8, 16, 32, 64}, M scaled as 2.5·N like the paper's 32/80 ratio).
+//! Reports use rate, mean wait and messages per critical section — the
+//! dimension along which the broadcast baseline degrades and the
+//! counter-based design keeps its per-conflict communication profile.
+//!
+//! ```text
+//! cargo run -p mra-bench --release --bin scaling
+//! ```
+
+use mra_bench::save_csv;
+use mra_workloads::experiments::measure_secs_default;
+use mra_workloads::{run, Algorithm, Load, Scenario, Table};
+
+fn main() {
+    let secs = measure_secs_default();
+    let mut t = Table::new(
+        "Scaling sweep (phi = 4, high load, M = 2.5N)",
+        &["N", "M", "algorithm", "use rate [%]", "mean wait [ms]", "msgs/cs"],
+    );
+    for n in [8usize, 16, 32, 64] {
+        let m = n * 5 / 2;
+        for algo in [
+            Algorithm::BouabdallahLaforest,
+            Algorithm::LassLoan,
+            Algorithm::Maddi,
+        ] {
+            let sc = Scenario::builder()
+                .nodes(n)
+                .resources(m)
+                .max_request_size(4)
+                .load(Load::High)
+                .seed(42)
+                .measure_secs(secs)
+                .build();
+            let res = run(algo, &sc);
+            t.row(vec![
+                n.to_string(),
+                m.to_string(),
+                algo.label().into(),
+                format!("{:.1}", 100.0 * res.use_rate()),
+                format!("{:.1}", res.wait_stats().mean_ms),
+                format!("{:.1}", res.msgs_per_cs()),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    save_csv(&t, "scaling.csv");
+}

@@ -1,0 +1,240 @@
+//! The per-resource token (paper §4.2, annex A figure 8, `Type Token`).
+//!
+//! Exactly one token exists per resource (lemmas 1–3 of the proof annex).
+//! It carries:
+//!
+//! * the resource **counter** — the only mutable copy; holders reserve
+//!   values for requests by reading and incrementing it;
+//! * `lastReqC` / `lastCS` — per-site timestamps used to discard obsolete
+//!   request messages (a request can reach the holder multiple times via
+//!   the pending-history replay mechanism);
+//! * `wQueue` — the waiting queue of `ReqRes`, kept sorted by the total
+//!   order `/` (this is what makes the scheduling *dynamic*: a
+//!   higher-priority request overtakes);
+//! * `wLoan` — pending loan requests, same order;
+//! * `lender` — when the token travels as a loan, the owner it must return
+//!   to.
+
+use crate::messages::{LoanReq, Request, ResReq};
+use crate::policy::order_key;
+use mra_types::{NodeId, RequestId, ResourceId};
+
+/// The unique token of one resource.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The resource this token controls.
+    pub r: ResourceId,
+    /// Next counter value to hand out (starts at 1; 0 means "not required"
+    /// in request vectors).
+    pub counter: u64,
+    /// `lastReqC[s]`: id of the last counter request from site `s` answered
+    /// by a holder.
+    pub last_req_c: Vec<RequestId>,
+    /// `lastCS[s]`: id of the last critical-section request of site `s`
+    /// that has been satisfied (updated by `s` itself at release time).
+    pub last_cs: Vec<RequestId>,
+    /// Pending resource requests, sorted by `/` (mark, then site id).
+    pub w_queue: Vec<ResReq>,
+    /// Pending loan requests, sorted by `/`.
+    pub w_loan: Vec<LoanReq>,
+    /// When the token is lent, the owner to return it to.
+    pub lender: Option<NodeId>,
+}
+
+impl Token {
+    /// Fresh token for resource `r` in an `n`-site system.
+    pub fn new(r: ResourceId, n: usize) -> Self {
+        Token {
+            r,
+            counter: 1,
+            last_req_c: vec![0; n],
+            last_cs: vec![0; n],
+            w_queue: Vec::new(),
+            w_loan: Vec::new(),
+            lender: None,
+        }
+    }
+
+    /// Reserve the current counter value (and advance the counter).  Only
+    /// the token holder may call this — exclusivity of the counter is
+    /// exactly what the token guarantees.
+    #[inline]
+    pub fn take_counter(&mut self) -> u64 {
+        let v = self.counter;
+        self.counter += 1;
+        v
+    }
+
+    /// Is `req` obsolete with respect to this token's timestamps?
+    ///
+    /// * A counter request is obsolete once a holder has answered a counter
+    ///   request with the same or a later id (`id ≤ lastReqC[sinit]`).
+    /// * A resource/loan request is obsolete once the requester's CS with
+    ///   the same or a later id has completed (`id ≤ lastCS[sinit]`).
+    /// * A single-resource `ReqCnt` acts as both, so either condition
+    ///   retires it.
+    pub fn obsolete(&self, req: &Request) -> bool {
+        let s = req.sinit();
+        let id = req.id();
+        match req {
+            Request::Cnt { single: false, .. } => id <= self.last_req_c[s],
+            Request::Cnt { single: true, .. } => {
+                id <= self.last_req_c[s] || id <= self.last_cs[s]
+            }
+            Request::Res(_) | Request::Loan(_) => id <= self.last_cs[s],
+        }
+    }
+
+    /// Does the queue already contain this exact request?
+    pub fn queue_contains(&self, sinit: NodeId, id: RequestId) -> bool {
+        self.w_queue.iter().any(|q| q.sinit == sinit && q.id == id)
+    }
+
+    /// Insert a resource request in `/` order; duplicates (same site & id)
+    /// are ignored.  Returns true if inserted.
+    pub fn enqueue_res(&mut self, req: ResReq) -> bool {
+        if self.queue_contains(req.sinit, req.id) {
+            return false;
+        }
+        let key = order_key(req.mark, req.sinit);
+        let pos = self
+            .w_queue
+            .partition_point(|q| order_key(q.mark, q.sinit) <= key);
+        self.w_queue.insert(pos, req);
+        true
+    }
+
+    /// Highest-priority pending resource request, if any.
+    pub fn head(&self) -> Option<&ResReq> {
+        self.w_queue.first()
+    }
+
+    /// Pop the highest-priority pending resource request.
+    pub fn dequeue(&mut self) -> Option<ResReq> {
+        if self.w_queue.is_empty() {
+            None
+        } else {
+            Some(self.w_queue.remove(0))
+        }
+    }
+
+    /// Remove every queued resource request from site `s` (used when a loan
+    /// or a release satisfies that site out of band).
+    pub fn remove_site(&mut self, s: NodeId) {
+        self.w_queue.retain(|q| q.sinit != s);
+    }
+
+    /// Insert a loan request in `/` order; duplicates ignored.  Returns true
+    /// if inserted.
+    pub fn enqueue_loan(&mut self, req: LoanReq) -> bool {
+        if self
+            .w_loan
+            .iter()
+            .any(|q| q.sinit == req.sinit && q.id == req.id)
+        {
+            return false;
+        }
+        let key = order_key(req.mark, req.sinit);
+        let pos = self
+            .w_loan
+            .partition_point(|q| order_key(q.mark, q.sinit) <= key);
+        self.w_loan.insert(pos, req);
+        true
+    }
+
+    /// Approximate message size in integer units (metrics only).
+    pub fn weight(&self) -> usize {
+        2 + 2 * self.last_cs.len() + 5 * self.w_queue.len() + 9 * self.w_loan.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mra_types::ResourceSet;
+
+    fn res(r: ResourceId, s: NodeId, id: RequestId, mark: f64) -> ResReq {
+        ResReq { r, sinit: s, id, mark }
+    }
+
+    #[test]
+    fn counter_hands_out_unique_increasing_values() {
+        let mut t = Token::new(0, 4);
+        assert_eq!(t.take_counter(), 1);
+        assert_eq!(t.take_counter(), 2);
+        assert_eq!(t.take_counter(), 3);
+        assert_eq!(t.counter, 4);
+    }
+
+    #[test]
+    fn queue_is_priority_ordered() {
+        let mut t = Token::new(0, 4);
+        assert!(t.enqueue_res(res(0, 2, 1, 5.0)));
+        assert!(t.enqueue_res(res(0, 1, 1, 3.0)));
+        assert!(t.enqueue_res(res(0, 3, 1, 5.0))); // tie on mark: site order
+        assert!(t.enqueue_res(res(0, 0, 1, 9.0)));
+        let order: Vec<NodeId> = t.w_queue.iter().map(|q| q.sinit).collect();
+        assert_eq!(order, vec![1, 2, 3, 0]);
+        assert_eq!(t.head().unwrap().sinit, 1);
+        assert_eq!(t.dequeue().unwrap().sinit, 1);
+        assert_eq!(t.head().unwrap().sinit, 2);
+    }
+
+    #[test]
+    fn queue_deduplicates_by_site_and_id() {
+        let mut t = Token::new(0, 4);
+        assert!(t.enqueue_res(res(0, 2, 1, 5.0)));
+        assert!(!t.enqueue_res(res(0, 2, 1, 5.0)));
+        assert!(t.enqueue_res(res(0, 2, 2, 6.0))); // new request id: distinct
+        assert_eq!(t.w_queue.len(), 2);
+        t.remove_site(2);
+        assert!(t.w_queue.is_empty());
+    }
+
+    #[test]
+    fn obsolete_rules() {
+        let mut t = Token::new(0, 4);
+        t.last_req_c[1] = 5;
+        t.last_cs[1] = 3;
+        let cnt_old = Request::Cnt { r: 0, sinit: 1, id: 5, single: false };
+        let cnt_new = Request::Cnt { r: 0, sinit: 1, id: 6, single: false };
+        assert!(t.obsolete(&cnt_old));
+        assert!(!t.obsolete(&cnt_new));
+        let res_old = Request::Res(res(0, 1, 3, 1.0));
+        let res_new = Request::Res(res(0, 1, 4, 1.0));
+        assert!(t.obsolete(&res_old));
+        assert!(!t.obsolete(&res_new));
+        // single-resource Cnt retires on either timestamp
+        let single_by_cnt = Request::Cnt { r: 0, sinit: 1, id: 5, single: true };
+        let single_by_cs = Request::Cnt { r: 0, sinit: 1, id: 2, single: true };
+        let single_live = Request::Cnt { r: 0, sinit: 1, id: 6, single: true };
+        assert!(t.obsolete(&single_by_cnt));
+        assert!(t.obsolete(&single_by_cs));
+        assert!(!t.obsolete(&single_live));
+    }
+
+    #[test]
+    fn loan_queue_ordered_and_deduplicated() {
+        let mut t = Token::new(1, 4);
+        let l = |s: NodeId, id: RequestId, mark: f64| LoanReq {
+            r: 1,
+            sinit: s,
+            id,
+            mark,
+            missing: ResourceSet::singleton(1),
+        };
+        assert!(t.enqueue_loan(l(3, 1, 2.0)));
+        assert!(t.enqueue_loan(l(1, 1, 1.0)));
+        assert!(!t.enqueue_loan(l(3, 1, 2.0)));
+        assert_eq!(t.w_loan[0].sinit, 1);
+        assert_eq!(t.w_loan[1].sinit, 3);
+    }
+
+    #[test]
+    fn weight_grows_with_queue() {
+        let mut t = Token::new(0, 4);
+        let w0 = t.weight();
+        t.enqueue_res(res(0, 1, 1, 1.0));
+        assert!(t.weight() > w0);
+    }
+}

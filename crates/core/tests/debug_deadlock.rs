@@ -1,0 +1,74 @@
+//! Diagnostic (ignored by default): reproduce a loan deadlock seed and dump
+//! internal protocol state.  Kept as a debugging tool for future protocol
+//! changes.
+
+use mra_core::{Lass, LassConfig};
+use mra_protocol::testkit::{run_random_workload, ExerciseCfg, VirtualNet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dump(net: &VirtualNet<Lass>, n: usize, m: usize) {
+    for i in 0..n {
+        let node = net.node(i);
+        eprintln!(
+            "node {i}: state={:?} required={:?} owned={:?} lent={:?} id={} loans(req={},granted={},used={},failed={})",
+            net.state(i),
+            node.required().to_vec(),
+            node.owned().to_vec(),
+            node.lent().to_vec(),
+            node.current_id(),
+            node.stats.loans_requested,
+            node.stats.loans_granted,
+            node.stats.loans_used,
+            node.stats.loans_failed,
+        );
+        for r in 0..m {
+            let t = node.token(r);
+            if node.owned().contains(r) {
+                eprintln!(
+                    "   owns r{r}: counter={} lender={:?} wq={:?} wl={:?}",
+                    t.counter,
+                    t.lender,
+                    t.w_queue
+                        .iter()
+                        .map(|q| (q.sinit, q.id, q.mark))
+                        .collect::<Vec<_>>(),
+                    t.w_loan
+                        .iter()
+                        .map(|q| (q.sinit, q.id))
+                        .collect::<Vec<_>>(),
+                );
+            }
+        }
+        for r in 0..m {
+            eprintln!("   father[r{r}]={:?}", node.father(r));
+        }
+    }
+}
+
+#[test]
+#[ignore = "diagnostic tool: run manually with --ignored"]
+fn repro_seed() {
+    let seed: u64 = std::env::var("SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    let cfg = LassConfig::with_loan(5, 8);
+    let mut net = VirtualNet::new(cfg.build_nodes(), cfg.m);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ex = ExerciseCfg {
+        rounds_per_node: 6,
+        max_req_size: 4,
+        m: 8,
+        hold_steps: 3,
+        active_nodes: None,
+        step_cap: 3_000_000,
+    };
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_random_workload(&mut net, &ex, &mut rng)
+    }));
+    if let Err(e) = result {
+        dump(&net, 5, 8);
+        std::panic::resume_unwind(e);
+    }
+}

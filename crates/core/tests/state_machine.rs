@@ -1,0 +1,106 @@
+//! The process state machine of the paper's **Figure 2**:
+//!
+//! ```text
+//!          Request_CS                 CntNeeded = ∅
+//!   Idle ─────────────► waitS ──────────────────────► waitCS
+//!     ▲                   │  (all required owned)        │
+//!     │                   └──────────────► inCS ◄────────┘
+//!     └────────────────── Release_CS ───────┘   TRequired ⊆ TOwned
+//! ```
+//!
+//! Each transition is exercised explicitly, including the two shortcuts:
+//! `Idle → inCS` via a fully local request (waitS is crossed
+//! instantaneously) and `Idle → waitCS` via the single-resource
+//! optimization (§4.6.1, which skips the counter phase).
+
+use mra_core::{LassConfig, LassMsg};
+use mra_protocol::{Allocator, Ctx, ProcState};
+use mra_types::ResourceSet;
+
+#[test]
+fn idle_to_waits_to_waitcs_to_incs_to_idle() {
+    let cfg = LassConfig::without_loan(2, 2);
+    let mut nodes = cfg.build_nodes();
+    let mut c0: Ctx<LassMsg> = Ctx::new(0, 2);
+    let mut c1: Ctx<LassMsg> = Ctx::new(1, 2);
+
+    assert_eq!(nodes[1].state(), ProcState::Idle);
+
+    // Request_CS: Idle → waitS (counters must come from node 0).
+    nodes[1].request(&mut c1, [0, 1].into_iter().collect());
+    assert_eq!(nodes[1].state(), ProcState::WaitS);
+
+    // Make node 0 require both resources so it answers with counters
+    // instead of shipping tokens outright.
+    nodes[0].request(&mut c0, [0, 1].into_iter().collect());
+    assert_eq!(nodes[0].state(), ProcState::InCS, "local request: Idle → inCS");
+
+    // Deliver node 1's ReqCnt batch; counters come back: waitS → waitCS.
+    for (to, m) in c1.take_outbox() {
+        assert_eq!(to, 0);
+        nodes[0].on_message(&mut c0, 1, m);
+    }
+    for (to, m) in c0.take_outbox() {
+        assert_eq!(to, 1);
+        nodes[1].on_message(&mut c1, 0, m);
+    }
+    assert_eq!(nodes[1].state(), ProcState::WaitCS);
+
+    // Node 0 releases: inCS → Idle; tokens flow and node 1 enters CS.
+    nodes[0].release(&mut c0);
+    assert_eq!(nodes[0].state(), ProcState::Idle);
+    // Deliver node 1's ReqRes batch first (queued at node 0 before release
+    // they were already sent — the release sent tokens directly).
+    for (to, m) in c1.take_outbox() {
+        if to == 0 {
+            nodes[0].on_message(&mut c0, 1, m);
+        }
+    }
+    for (to, m) in c0.take_outbox() {
+        if to == 1 {
+            nodes[1].on_message(&mut c1, 0, m);
+        }
+    }
+    assert_eq!(nodes[1].state(), ProcState::InCS, "waitCS → inCS");
+    assert!(c1.take_granted());
+
+    nodes[1].release(&mut c1);
+    assert_eq!(nodes[1].state(), ProcState::Idle, "inCS → Idle");
+}
+
+#[test]
+fn single_resource_shortcut_skips_waits() {
+    let cfg = LassConfig::with_loan(2, 2);
+    let mut nodes = cfg.build_nodes();
+    let mut c1: Ctx<LassMsg> = Ctx::new(1, 2);
+    nodes[1].request(&mut c1, ResourceSet::singleton(0));
+    assert_eq!(
+        nodes[1].state(),
+        ProcState::WaitCS,
+        "§4.6.1: Idle → waitCS directly"
+    );
+}
+
+#[test]
+fn requesting_outside_idle_panics() {
+    let cfg = LassConfig::without_loan(2, 2);
+    let mut nodes = cfg.build_nodes();
+    let mut c0: Ctx<LassMsg> = Ctx::new(0, 2);
+    nodes[0].request(&mut c0, ResourceSet::singleton(0));
+    assert!(c0.take_granted());
+    let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        nodes[0].request(&mut c0, ResourceSet::singleton(1));
+    }));
+    assert!(boom.is_err(), "hypothesis 4: one outstanding request");
+}
+
+#[test]
+fn releasing_outside_incs_panics() {
+    let cfg = LassConfig::without_loan(2, 2);
+    let mut nodes = cfg.build_nodes();
+    let mut c0: Ctx<LassMsg> = Ctx::new(0, 2);
+    let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        nodes[0].release(&mut c0);
+    }));
+    assert!(boom.is_err());
+}

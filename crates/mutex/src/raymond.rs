@@ -1,0 +1,249 @@
+//! Raymond's tree-based mutual exclusion algorithm.
+//!
+//! Reference: K. Raymond, *A tree-based algorithm for distributed mutual
+//! exclusion* (ACM TOCS 1989) — citation \[20\] of the paper.  Unlike
+//! Naimi-Trehel's dynamic "last requester" tree, Raymond's algorithm keeps
+//! a **static** spanning tree and routes both requests and the token along
+//! its edges; each node keeps a FIFO queue of the neighbors (or itself)
+//! whose requests it still has to serve.
+//!
+//! Included as an alternative substrate for the incremental baseline and
+//! for substrate-comparison benchmarks: it trades Naimi-Trehel's amortized
+//! O(log N) dynamic paths for bounded-degree static routing.
+
+use crate::SingleMutex;
+use mra_protocol::WireMsg;
+use mra_types::NodeId;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Wire messages of Raymond's algorithm.
+#[derive(Clone)]
+pub enum RayMsg {
+    /// Ask the parent (token direction) for the token.
+    Request,
+    /// The token, moving one tree edge.
+    Token,
+}
+
+impl fmt::Debug for RayMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RayMsg::Request => write!(f, "RayRequest"),
+            RayMsg::Token => write!(f, "RayToken"),
+        }
+    }
+}
+
+impl WireMsg for RayMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            RayMsg::Request => "Ray::Request",
+            RayMsg::Token => "Ray::Token",
+        }
+    }
+}
+
+/// One node's state in one Raymond instance.
+#[derive(Clone)]
+pub struct Raymond {
+    me: NodeId,
+    /// Tree neighbor toward the token (`None` iff this node holds it).
+    holder_dir: Option<NodeId>,
+    /// FIFO of requesters to serve: tree neighbors, or `me` itself.
+    queue: VecDeque<NodeId>,
+    /// Has a Request already been sent toward the holder?
+    asked: bool,
+    /// True while this node is in its critical section.
+    in_cs: bool,
+    requesting: bool,
+}
+
+impl Raymond {
+    /// Create node `me` whose parent on the (static) tree path toward the
+    /// initial token holder is `parent` (`None` for the holder itself).
+    ///
+    /// For a star topology rooted at the elected node, pass
+    /// `Some(elected)` on every other node.
+    pub fn new(me: NodeId, parent: Option<NodeId>) -> Self {
+        Raymond {
+            me,
+            holder_dir: parent,
+            queue: VecDeque::new(),
+            asked: false,
+            in_cs: false,
+            requesting: false,
+        }
+    }
+
+    /// Build a star-shaped system of `n` nodes rooted at `elected`.
+    pub fn build_star(n: usize, elected: NodeId) -> Vec<Raymond> {
+        (0..n)
+            .map(|i| Raymond::new(i, (i != elected).then_some(elected)))
+            .collect()
+    }
+
+    fn forward_request(&mut self, out: &mut dyn FnMut(NodeId, RayMsg)) {
+        if !self.asked && !self.queue.is_empty() {
+            if let Some(dir) = self.holder_dir {
+                out(dir, RayMsg::Request);
+                self.asked = true;
+            }
+        }
+    }
+
+    /// Serve the queue head if we hold the token and are not using it.
+    /// Returns true if `me` just acquired the CS.
+    fn serve(&mut self, out: &mut dyn FnMut(NodeId, RayMsg)) -> bool {
+        if self.holder_dir.is_some() || self.in_cs {
+            return false;
+        }
+        match self.queue.pop_front() {
+            None => false,
+            Some(next) if next == self.me => {
+                self.in_cs = true;
+                true
+            }
+            Some(next) => {
+                out(next, RayMsg::Token);
+                self.holder_dir = Some(next);
+                self.asked = false;
+                // If we still have queued requesters, immediately chase
+                // the token on their behalf.
+                self.forward_request(out);
+                false
+            }
+        }
+    }
+}
+
+impl SingleMutex for Raymond {
+    type Msg = RayMsg;
+
+    fn request(&mut self, out: &mut dyn FnMut(NodeId, RayMsg)) -> bool {
+        assert!(!self.requesting, "Raymond node {} requested twice", self.me);
+        self.requesting = true;
+        self.queue.push_back(self.me);
+        self.forward_request(out);
+        self.serve(out)
+    }
+
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: RayMsg,
+        out: &mut dyn FnMut(NodeId, RayMsg),
+    ) -> bool {
+        match msg {
+            RayMsg::Request => {
+                self.queue.push_back(from);
+                self.forward_request(out);
+                self.serve(out)
+            }
+            RayMsg::Token => {
+                debug_assert_eq!(self.holder_dir, Some(from), "token from off-path");
+                self.holder_dir = None;
+                self.asked = false;
+                self.serve(out)
+            }
+        }
+    }
+
+    fn release(&mut self, out: &mut dyn FnMut(NodeId, RayMsg)) {
+        assert!(self.in_cs, "Raymond release outside CS");
+        self.in_cs = false;
+        self.requesting = false;
+        self.serve(out);
+    }
+
+    fn holds_token(&self) -> bool {
+        self.holder_dir.is_none()
+    }
+
+    fn is_requesting(&self) -> bool {
+        self.requesting
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MutexAllocator;
+    use mra_protocol::testkit::{run_random_workload, ExerciseCfg, VirtualNet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn star_net(n: usize) -> VirtualNet<MutexAllocator<Raymond>> {
+        let nodes = Raymond::build_star(n, 0)
+            .into_iter()
+            .map(|r| MutexAllocator::new(r, "raymond"))
+            .collect();
+        VirtualNet::new(nodes, 1)
+    }
+
+    #[test]
+    fn root_acquires_immediately() {
+        let mut nodes = Raymond::build_star(3, 0);
+        let mut sunk: Vec<(NodeId, RayMsg)> = Vec::new();
+        let got = SingleMutex::request(&mut nodes[0], &mut |to, m| sunk.push((to, m)));
+        assert!(got);
+        assert!(sunk.is_empty());
+    }
+
+    #[test]
+    fn leaf_chases_token_through_root() {
+        let mut nodes = Raymond::build_star(3, 0);
+        let mut sunk: Vec<(NodeId, RayMsg)> = Vec::new();
+        let got = SingleMutex::request(&mut nodes[1], &mut |to, m| sunk.push((to, m)));
+        assert!(!got);
+        assert_eq!(sunk.len(), 1);
+        assert_eq!(sunk[0].0, 0);
+        // Root serves: token flows to node 1.
+        let mut reply: Vec<(NodeId, RayMsg)> = Vec::new();
+        let got = nodes[0].on_message(1, sunk.pop().unwrap().1, &mut |to, m| reply.push((to, m)));
+        assert!(!got);
+        assert!(matches!(reply[0], (1, RayMsg::Token)));
+        let mut empty: Vec<(NodeId, RayMsg)> = Vec::new();
+        let got = nodes[1].on_message(0, reply.pop().unwrap().1, &mut |to, m| empty.push((to, m)));
+        assert!(got, "leaf acquired");
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn random_runs_safe_and_live() {
+        for seed in 0..10 {
+            let mut net = star_net(6);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cfg = ExerciseCfg {
+                rounds_per_node: 6,
+                max_req_size: 1,
+                m: 1,
+                hold_steps: 2,
+                active_nodes: None,
+                step_cap: 500_000,
+            };
+            let rep = run_random_workload(&mut net, &cfg, &mut rng);
+            assert_eq!(rep.cs_completed, 36, "seed {seed}");
+            assert_eq!(rep.max_concurrency, 1);
+        }
+    }
+
+    #[test]
+    fn exactly_one_token_when_quiet() {
+        let mut net = star_net(5);
+        let mut rng = StdRng::seed_from_u64(77);
+        let cfg = ExerciseCfg {
+            rounds_per_node: 5,
+            max_req_size: 1,
+            m: 1,
+            hold_steps: 1,
+            active_nodes: None,
+            step_cap: 500_000,
+        };
+        run_random_workload(&mut net, &cfg, &mut rng);
+        let holders = (0..5)
+            .filter(|&i| net.node(i).inner().holds_token())
+            .count();
+        assert_eq!(holders, 1);
+    }
+}

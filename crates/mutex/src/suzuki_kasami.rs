@@ -1,0 +1,327 @@
+//! The Suzuki-Kasami broadcast token mutual exclusion algorithm.
+//!
+//! Reference: I. Suzuki, T. Kasami, *A distributed mutual exclusion
+//! algorithm* (ACM TOCS 1985) — citation \[28\] of the paper.  The Maddi
+//! baseline ("token based solutions to m resources allocation") is described
+//! by the paper as multiple instances of this algorithm, so it is the
+//! canonical representative of the broadcast family.
+//!
+//! Each request is broadcast to all other nodes with a per-node sequence
+//! number `rn[i]`; the token carries `ln[i]`, the sequence number of the
+//! last satisfied request of each node, plus a FIFO queue of nodes with
+//! outstanding (`rn[i] == ln[i] + 1`) requests.
+
+use crate::SingleMutex;
+use mra_protocol::WireMsg;
+use mra_types::NodeId;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// The unique token of one Suzuki-Kasami instance.
+#[derive(Clone, Debug)]
+pub struct SkToken {
+    /// `ln[i]`: sequence number of node `i`'s most recently satisfied
+    /// request.
+    pub ln: Vec<u64>,
+    /// FIFO queue of nodes with known outstanding requests.
+    pub queue: VecDeque<NodeId>,
+}
+
+impl SkToken {
+    /// Fresh token for an `n`-node system.
+    pub fn new(n: usize) -> Self {
+        SkToken {
+            ln: vec![0; n],
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+/// Wire messages of the Suzuki-Kasami algorithm.
+#[derive(Clone)]
+pub enum SkMsg {
+    /// Broadcast request: `origin`'s `seq`-th critical section.
+    Request {
+        /// Requesting node.
+        origin: NodeId,
+        /// Its request sequence number (`rn[origin]` after increment).
+        seq: u64,
+    },
+    /// The token, sent point-to-point to the next holder.
+    Token(SkToken),
+}
+
+impl fmt::Debug for SkMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkMsg::Request { origin, seq } => write!(f, "SkRequest({origin},#{seq})"),
+            SkMsg::Token(t) => write!(f, "SkToken(queue={:?})", t.queue),
+        }
+    }
+}
+
+impl WireMsg for SkMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            SkMsg::Request { .. } => "SK::Request",
+            SkMsg::Token(_) => "SK::Token",
+        }
+    }
+
+    fn weight(&self) -> usize {
+        match self {
+            SkMsg::Request { .. } => 2,
+            SkMsg::Token(t) => t.ln.len() + t.queue.len(),
+        }
+    }
+}
+
+/// One node's state in one Suzuki-Kasami instance.
+#[derive(Clone)]
+pub struct SuzukiKasami {
+    me: NodeId,
+    n: usize,
+    /// `rn[i]`: highest request sequence number seen from node `i`.
+    rn: Vec<u64>,
+    token: Option<SkToken>,
+    requesting: bool,
+    in_cs: bool,
+}
+
+impl SuzukiKasami {
+    /// Create the instance for node `me` of `n`; `elected` starts with the
+    /// token.
+    pub fn new(me: NodeId, n: usize, elected: NodeId) -> Self {
+        SuzukiKasami {
+            me,
+            n,
+            rn: vec![0; n],
+            token: if me == elected {
+                Some(SkToken::new(n))
+            } else {
+                None
+            },
+            requesting: false,
+            in_cs: false,
+        }
+    }
+
+    /// Broadcast a request (or enter immediately when holding the token).
+    pub fn request(&mut self, out: &mut dyn FnMut(NodeId, SkMsg)) -> bool {
+        assert!(!self.requesting, "SK node {} requested twice", self.me);
+        self.requesting = true;
+        self.rn[self.me] += 1;
+        if self.token.is_some() {
+            self.in_cs = true;
+            return true;
+        }
+        let seq = self.rn[self.me];
+        for i in 0..self.n {
+            if i != self.me {
+                out(
+                    i,
+                    SkMsg::Request {
+                        origin: self.me,
+                        seq,
+                    },
+                );
+            }
+        }
+        false
+    }
+
+    /// Deliver a message; returns `true` on token acquisition.
+    pub fn on_message(
+        &mut self,
+        msg: SkMsg,
+        out: &mut dyn FnMut(NodeId, SkMsg),
+    ) -> bool {
+        match msg {
+            SkMsg::Request { origin, seq } => {
+                self.rn[origin] = self.rn[origin].max(seq);
+                // An idle holder passes the token straight away.
+                if !self.in_cs && !self.requesting {
+                    if let Some(tok) = self.token.as_ref() {
+                        if self.rn[origin] == tok.ln[origin] + 1 {
+                            let tok = self.token.take().expect("checked above");
+                            out(origin, SkMsg::Token(tok));
+                        }
+                    }
+                }
+                false
+            }
+            SkMsg::Token(tok) => {
+                debug_assert!(self.token.is_none(), "duplicate SK token");
+                debug_assert!(self.requesting, "SK token arrived unrequested");
+                self.token = Some(tok);
+                self.in_cs = true;
+                true
+            }
+        }
+    }
+
+    /// Leave the critical section: update `ln`, enqueue newly outstanding
+    /// requesters, and pass the token to the queue head, if any.
+    pub fn release(&mut self, out: &mut dyn FnMut(NodeId, SkMsg)) {
+        assert!(self.in_cs, "SK release outside CS");
+        self.in_cs = false;
+        self.requesting = false;
+        let tok = self.token.as_mut().expect("in CS implies token");
+        tok.ln[self.me] = self.rn[self.me];
+        // Scan in a rotation starting after `me` for fairness.
+        for off in 1..=self.n {
+            let j = (self.me + off) % self.n;
+            if self.rn[j] == tok.ln[j] + 1 && !tok.queue.contains(&j) {
+                tok.queue.push_back(j);
+            }
+        }
+        if let Some(next) = self.token.as_mut().expect("still held").queue.pop_front() {
+            let tok = self.token.take().expect("still held");
+            out(next, SkMsg::Token(tok));
+        }
+    }
+
+    /// Does this node hold the token?
+    pub fn holds_token(&self) -> bool {
+        self.token.is_some()
+    }
+
+    /// Is this node waiting for (or using) the token?
+    pub fn is_requesting(&self) -> bool {
+        self.requesting
+    }
+}
+
+impl SingleMutex for SuzukiKasami {
+    type Msg = SkMsg;
+
+    fn request(&mut self, out: &mut dyn FnMut(NodeId, SkMsg)) -> bool {
+        SuzukiKasami::request(self, out)
+    }
+
+    fn on_message(
+        &mut self,
+        _from: NodeId,
+        msg: SkMsg,
+        out: &mut dyn FnMut(NodeId, SkMsg),
+    ) -> bool {
+        SuzukiKasami::on_message(self, msg, out)
+    }
+
+    fn release(&mut self, out: &mut dyn FnMut(NodeId, SkMsg)) {
+        SuzukiKasami::release(self, out)
+    }
+
+    fn holds_token(&self) -> bool {
+        SuzukiKasami::holds_token(self)
+    }
+
+    fn is_requesting(&self) -> bool {
+        SuzukiKasami::is_requesting(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Mesh {
+        nodes: Vec<SuzukiKasami>,
+        queue: std::collections::VecDeque<(NodeId, SkMsg)>,
+        acquired: Vec<bool>,
+    }
+
+    impl Mesh {
+        fn new(n: usize) -> Self {
+            Mesh {
+                nodes: (0..n).map(|i| SuzukiKasami::new(i, n, 0)).collect(),
+                queue: Default::default(),
+                acquired: vec![false; n],
+            }
+        }
+
+        fn request(&mut self, i: NodeId) {
+            let mut q = std::mem::take(&mut self.queue);
+            if self.nodes[i].request(&mut |to, m| q.push_back((to, m))) {
+                self.acquired[i] = true;
+            }
+            self.queue = q;
+        }
+
+        fn release(&mut self, i: NodeId) {
+            let mut q = std::mem::take(&mut self.queue);
+            self.nodes[i].release(&mut |to, m| q.push_back((to, m)));
+            self.queue = q;
+            self.acquired[i] = false;
+        }
+
+        fn pump(&mut self) {
+            while let Some((to, msg)) = self.queue.pop_front() {
+                let mut q = std::mem::take(&mut self.queue);
+                if self.nodes[to].on_message(msg, &mut |t, m| q.push_back((t, m))) {
+                    self.acquired[to] = true;
+                }
+                self.queue = q;
+            }
+        }
+    }
+
+    #[test]
+    fn holder_enters_immediately() {
+        let mut mesh = Mesh::new(3);
+        mesh.request(0);
+        assert!(mesh.acquired[0]);
+    }
+
+    #[test]
+    fn token_moves_to_requester_from_idle_holder() {
+        let mut mesh = Mesh::new(3);
+        mesh.request(1);
+        mesh.pump();
+        assert!(mesh.acquired[1]);
+        assert!(mesh.nodes[1].holds_token());
+        assert!(!mesh.nodes[0].holds_token());
+    }
+
+    #[test]
+    fn fifo_service_in_sequence_order() {
+        let mut mesh = Mesh::new(4);
+        mesh.request(0);
+        mesh.request(1);
+        mesh.request(2);
+        mesh.request(3);
+        mesh.pump();
+        // Only the holder is in CS.
+        assert_eq!(mesh.acquired, vec![true, false, false, false]);
+        mesh.release(0);
+        mesh.pump();
+        // Rotation after node 0 serves node 1 first.
+        assert!(mesh.acquired[1]);
+        mesh.release(1);
+        mesh.pump();
+        assert!(mesh.acquired[2]);
+        mesh.release(2);
+        mesh.pump();
+        assert!(mesh.acquired[3]);
+        mesh.release(3);
+        mesh.pump();
+    }
+
+    #[test]
+    fn exclusion_holds_across_rounds() {
+        let n = 5;
+        let mut mesh = Mesh::new(n);
+        for _ in 0..8 {
+            for i in 0..n {
+                if !mesh.nodes[i].is_requesting() {
+                    mesh.request(i);
+                }
+            }
+            mesh.pump();
+            let owners: Vec<_> = (0..n).filter(|&i| mesh.acquired[i]).collect();
+            assert_eq!(owners.len(), 1);
+            mesh.release(owners[0]);
+            mesh.pump();
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests of the mutual-exclusion substrates: mutual
+//! exclusion, liveness and token conservation under arbitrary shapes and
+//! interleavings, for all three algorithms.
+
+use mra_mutex::{MutexAllocator, NaimiTrehel, Raymond, SingleMutex, SuzukiKasami};
+use mra_protocol::testkit::{run_random_workload, ExerciseCfg, VirtualNet};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cfg(rounds: usize) -> ExerciseCfg {
+    ExerciseCfg {
+        rounds_per_node: rounds,
+        max_req_size: 1,
+        m: 1,
+        hold_steps: 2,
+        active_nodes: None,
+        step_cap: 1_000_000,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn naimi_trehel_excludes(seed in any::<u64>(), n in 2usize..8, elected in 0usize..8) {
+        let elected = elected % n;
+        let nodes: Vec<_> = (0..n)
+            .map(|i| {
+                let mut nt = NaimiTrehel::new(i, elected);
+                if i == elected {
+                    nt.give_initial_token(());
+                }
+                MutexAllocator::new(nt, "nt")
+            })
+            .collect();
+        let mut net = VirtualNet::new(nodes, 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rep = run_random_workload(&mut net, &cfg(4), &mut rng);
+        prop_assert_eq!(rep.cs_completed as usize, 4 * n);
+        prop_assert_eq!(rep.max_concurrency, 1);
+        // Exactly one token survives.
+        let holders = (0..n).filter(|&i| net.node(i).inner().holds_token()).count();
+        prop_assert_eq!(holders, 1);
+    }
+
+    #[test]
+    fn suzuki_kasami_excludes(seed in any::<u64>(), n in 2usize..8) {
+        let nodes: Vec<_> = (0..n)
+            .map(|i| MutexAllocator::new(SuzukiKasami::new(i, n, 0), "sk"))
+            .collect();
+        let mut net = VirtualNet::new(nodes, 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rep = run_random_workload(&mut net, &cfg(4), &mut rng);
+        prop_assert_eq!(rep.cs_completed as usize, 4 * n);
+        prop_assert_eq!(rep.max_concurrency, 1);
+        let holders = (0..n).filter(|&i| net.node(i).inner().holds_token()).count();
+        prop_assert_eq!(holders, 1);
+    }
+
+    #[test]
+    fn raymond_excludes(seed in any::<u64>(), n in 2usize..8, root in 0usize..8) {
+        let root = root % n;
+        let nodes: Vec<_> = Raymond::build_star(n, root)
+            .into_iter()
+            .map(|r| MutexAllocator::new(r, "raymond"))
+            .collect();
+        let mut net = VirtualNet::new(nodes, 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rep = run_random_workload(&mut net, &cfg(4), &mut rng);
+        prop_assert_eq!(rep.cs_completed as usize, 4 * n);
+        prop_assert_eq!(rep.max_concurrency, 1);
+        let holders = (0..n).filter(|&i| net.node(i).inner().holds_token()).count();
+        prop_assert_eq!(holders, 1);
+    }
+}

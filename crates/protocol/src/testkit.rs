@@ -1,0 +1,652 @@
+//! A synchronous virtual network with randomized message interleaving.
+//!
+//! `VirtualNet` is the workhorse for protocol unit tests and property-based
+//! tests: it delivers messages one at a time in a (seeded) random order while
+//! preserving per-link FIFO, checks the *safety* property on every critical
+//! section entry (no two processes ever hold the same resource), and detects
+//! deadlocks (*liveness* failures) as stalls with pending requests.
+//!
+//! There is no notion of time here — only causality and interleaving — which
+//! makes it ideal for exploring protocol corner cases that a timed simulator
+//! would rarely hit.
+
+use crate::{Allocator, Ctx, ProcState};
+use mra_types::{NodeId, ResourceSet, Time};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Records who is inside a critical section with which resources and panics
+/// on any exclusivity violation.  Shared by the test network and reusable by
+/// other engines.
+#[derive(Clone, Debug)]
+pub struct SafetyMonitor {
+    holder: Vec<Option<NodeId>>,
+    in_cs: Vec<Option<ResourceSet>>,
+    /// Total number of critical sections entered so far.
+    pub cs_entered: u64,
+}
+
+impl SafetyMonitor {
+    /// Monitor for `n` nodes and `m` resources.
+    pub fn new(n: usize, m: usize) -> Self {
+        SafetyMonitor {
+            holder: vec![None; m],
+            in_cs: vec![None; n],
+            cs_entered: 0,
+        }
+    }
+
+    /// Register node `who` entering its CS holding `set`.
+    ///
+    /// # Panics
+    /// If any resource in `set` is already held: that is a violation of the
+    /// paper's safety property (Theorem 1).
+    pub fn enter(&mut self, who: NodeId, set: ResourceSet) {
+        assert!(
+            self.in_cs[who].is_none(),
+            "node {who} entered CS twice without releasing"
+        );
+        for r in set.iter() {
+            if let Some(other) = self.holder[r] {
+                panic!(
+                    "SAFETY VIOLATION: resource {r} granted to node {who} \
+                     while still held by node {other}"
+                );
+            }
+            self.holder[r] = Some(who);
+        }
+        self.in_cs[who] = Some(set);
+        self.cs_entered += 1;
+    }
+
+    /// Register node `who` leaving its CS.
+    pub fn exit(&mut self, who: NodeId) {
+        let set = self.in_cs[who]
+            .take()
+            .unwrap_or_else(|| panic!("node {who} released without being in CS"));
+        for r in set.iter() {
+            debug_assert_eq!(self.holder[r], Some(who));
+            self.holder[r] = None;
+        }
+    }
+
+    /// Is `who` currently inside its CS?
+    pub fn is_in_cs(&self, who: NodeId) -> bool {
+        self.in_cs[who].is_some()
+    }
+
+    /// The set held by `who`, if it is in CS.
+    pub fn held_by(&self, who: NodeId) -> Option<ResourceSet> {
+        self.in_cs[who]
+    }
+
+    /// Number of nodes currently in CS.
+    pub fn concurrency(&self) -> usize {
+        self.in_cs.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// Per-node bookkeeping inside the virtual network.
+struct Slot<A: Allocator> {
+    proto: A,
+    ctx: Ctx<A::Msg>,
+    /// The resource set of the outstanding request, if any.
+    pending: Option<ResourceSet>,
+}
+
+/// A synchronous network of `Allocator` nodes with per-link FIFO queues and
+/// externally driven, randomized delivery.
+pub struct VirtualNet<A: Allocator> {
+    slots: Vec<Slot<A>>,
+    /// `links[src * n + dst]`: FIFO queue of in-flight messages.
+    links: Vec<VecDeque<A::Msg>>,
+    n: usize,
+    steps: u64,
+    delivered: u64,
+    /// Safety monitor; public so tests can inspect concurrency.
+    pub monitor: SafetyMonitor,
+}
+
+impl<A: Allocator> VirtualNet<A> {
+    /// Build a network from one protocol instance per node and run
+    /// `on_init` on each.
+    pub fn new(nodes: Vec<A>, m: usize) -> Self {
+        let n = nodes.len();
+        let mut slots: Vec<Slot<A>> = nodes
+            .into_iter()
+            .enumerate()
+            .map(|(i, proto)| Slot {
+                proto,
+                ctx: Ctx::new(i, n),
+                pending: None,
+            })
+            .collect();
+        let mut net = VirtualNet {
+            links: (0..n * n).map(|_| VecDeque::new()).collect(),
+            n,
+            steps: 0,
+            delivered: 0,
+            monitor: SafetyMonitor::new(n, m),
+            slots: Vec::new(),
+        };
+        for (i, slot) in slots.iter_mut().enumerate() {
+            slot.ctx.set_now(Time::ZERO);
+            slot.proto.on_init(&mut slot.ctx);
+            assert!(
+                !slot.ctx.take_granted(),
+                "node {i} granted during on_init"
+            );
+        }
+        net.slots = slots;
+        // Drain any initialization messages.
+        for i in 0..n {
+            net.flush_outbox(i);
+        }
+        net
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Immutable access to a node's protocol state (for invariant checks).
+    pub fn node(&self, i: NodeId) -> &A {
+        &self.slots[i].proto
+    }
+
+    /// Current protocol state of node `i`.
+    pub fn state(&self, i: NodeId) -> ProcState {
+        self.slots[i].proto.state()
+    }
+
+    /// Is node `i` in its critical section (as observed by the monitor)?
+    pub fn in_cs(&self, i: NodeId) -> bool {
+        self.monitor.is_in_cs(i)
+    }
+
+    /// Number of messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.links.iter().map(|q| q.len()).sum()
+    }
+
+    /// Total messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Issue a request for `set` from node `i`.
+    ///
+    /// # Panics
+    /// If `i` already has an outstanding request, or on a safety violation
+    /// (when the grant happens synchronously).
+    pub fn request(&mut self, i: NodeId, set: ResourceSet) {
+        assert!(
+            self.slots[i].pending.is_none() && !self.monitor.is_in_cs(i),
+            "node {i} requested while busy"
+        );
+        assert!(!set.is_empty(), "empty request");
+        self.slots[i].pending = Some(set);
+        self.tick();
+        let slot = &mut self.slots[i];
+        slot.ctx.set_now(Time::from_nanos(self.steps));
+        slot.proto.request(&mut slot.ctx, set);
+        self.after_dispatch(i);
+    }
+
+    /// Release the critical section of node `i`.
+    pub fn release(&mut self, i: NodeId) {
+        assert!(self.monitor.is_in_cs(i), "node {i} released outside CS");
+        self.monitor.exit(i);
+        self.tick();
+        let slot = &mut self.slots[i];
+        slot.ctx.set_now(Time::from_nanos(self.steps));
+        slot.proto.release(&mut slot.ctx);
+        self.after_dispatch(i);
+    }
+
+    /// Deliver one randomly chosen in-flight message (FIFO per link).
+    /// Returns `false` if nothing was in flight.
+    pub fn deliver_one(&mut self, rng: &mut StdRng) -> bool {
+        let nonempty: Vec<usize> = (0..self.links.len())
+            .filter(|&l| !self.links[l].is_empty())
+            .collect();
+        if nonempty.is_empty() {
+            return false;
+        }
+        let link = nonempty[rng.gen_range(0..nonempty.len())];
+        self.deliver_from_link(link);
+        true
+    }
+
+    /// Deliver the head message of a specific `(src, dst)` link, if any.
+    /// Lets tests script exact interleavings (e.g. the paper's Fig. 3).
+    pub fn deliver_link(&mut self, src: NodeId, dst: NodeId) -> bool {
+        let link = src * self.n + dst;
+        if self.links[link].is_empty() {
+            return false;
+        }
+        self.deliver_from_link(link);
+        true
+    }
+
+    fn deliver_from_link(&mut self, link: usize) {
+        let msg = self.links[link].pop_front().expect("link not empty");
+        let (src, dst) = (link / self.n, link % self.n);
+        self.tick();
+        self.delivered += 1;
+        let slot = &mut self.slots[dst];
+        slot.ctx.set_now(Time::from_nanos(self.steps));
+        slot.proto.on_message(&mut slot.ctx, src, msg);
+        self.after_dispatch(dst);
+    }
+
+    /// Deliver messages in random order until the network is quiet.
+    ///
+    /// # Panics
+    /// If more than `cap` deliveries happen (runaway message loop).
+    pub fn run_until_quiet(&mut self, rng: &mut StdRng, cap: u64) {
+        let mut count = 0u64;
+        while self.deliver_one(rng) {
+            count += 1;
+            assert!(count <= cap, "network did not quiesce within {cap} deliveries");
+        }
+    }
+
+    fn tick(&mut self) {
+        self.steps += 1;
+    }
+
+    fn after_dispatch(&mut self, i: NodeId) {
+        self.flush_outbox(i);
+        let granted = self.slots[i].ctx.take_granted();
+        if granted {
+            let set = self.slots[i]
+                .pending
+                .take()
+                .unwrap_or_else(|| panic!("node {i} granted without a pending request"));
+            self.monitor.enter(i, set);
+        }
+    }
+
+    fn flush_outbox(&mut self, i: NodeId) {
+        let out = self.slots[i].ctx.take_outbox();
+        for (to, msg) in out {
+            self.links[i * self.n + to].push_back(msg);
+        }
+    }
+}
+
+impl<A: Allocator + Clone> Clone for Slot<A>
+where
+    A::Msg: Clone,
+{
+    fn clone(&self) -> Self {
+        Slot {
+            proto: self.proto.clone(),
+            ctx: self.ctx.clone(),
+            pending: self.pending,
+        }
+    }
+}
+
+impl<A: Allocator + Clone> Clone for VirtualNet<A>
+where
+    A::Msg: Clone,
+{
+    fn clone(&self) -> Self {
+        VirtualNet {
+            slots: self.slots.clone(),
+            links: self.links.clone(),
+            n: self.n,
+            steps: self.steps,
+            delivered: self.delivered,
+            monitor: self.monitor.clone(),
+        }
+    }
+}
+
+/// Outcome of [`explore_exhaustive`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreReport {
+    /// Interleavings fully explored (leaves reached).
+    pub completions: u64,
+    /// Scheduler states visited.
+    pub states: u64,
+    /// True if the state budget was exhausted before full coverage.
+    pub truncated: bool,
+}
+
+/// Exhaustively explore **every** FIFO-consistent interleaving of message
+/// deliveries and critical-section releases for a fixed set of requests —
+/// bounded model checking in the small.
+///
+/// All `requests` are issued up-front (in slice order).  The explorer then
+/// branches on every enabled action: deliver the head of any non-empty
+/// link, or release any node currently in CS.  Each node performs exactly
+/// one request.  At every quiescent leaf it asserts that **all** requests
+/// were granted and released (liveness for that interleaving); safety is
+/// asserted continuously by the [`SafetyMonitor`].
+///
+/// # Panics
+/// On any safety violation, and on any leaf where a request was never
+/// served (a real deadlock for that interleaving).
+pub fn explore_exhaustive<A>(
+    net: &VirtualNet<A>,
+    requests: &[(NodeId, ResourceSet)],
+    budget: u64,
+) -> ExploreReport
+where
+    A: Allocator + Clone,
+    A::Msg: Clone,
+{
+    let mut root = net.clone();
+    let mut done = vec![false; root.len()];
+    for &(node, set) in requests {
+        root.request(node, set);
+    }
+    let mut report = ExploreReport {
+        completions: 0,
+        states: 0,
+        truncated: false,
+    };
+    dfs(root, &mut done, &mut report, budget);
+    report
+}
+
+fn dfs<A>(net: VirtualNet<A>, done: &mut [bool], report: &mut ExploreReport, budget: u64)
+where
+    A: Allocator + Clone,
+    A::Msg: Clone,
+{
+    report.states += 1;
+    if report.states >= budget {
+        report.truncated = true;
+        return;
+    }
+    // Enabled actions: one per non-empty link, plus Release per node in CS.
+    let mut acted = false;
+    for link in 0..net.links.len() {
+        if net.links[link].is_empty() {
+            continue;
+        }
+        acted = true;
+        let mut next = net.clone();
+        next.deliver_from_link(link);
+        dfs(next, done, report, budget);
+        if report.truncated {
+            return;
+        }
+    }
+    for i in 0..net.len() {
+        if net.in_cs(i) && !done[i] {
+            acted = true;
+            let mut next = net.clone();
+            next.release(i);
+            done[i] = true;
+            dfs(next, done, report, budget);
+            done[i] = false;
+            if report.truncated {
+                return;
+            }
+        }
+    }
+    if !acted {
+        // Quiescent leaf: every request must have been granted *and*
+        // released — i.e. every node is idle again.
+        let unserved: Vec<NodeId> = (0..net.len())
+            .filter(|&i| net.state(i) != ProcState::Idle)
+            .collect();
+        assert!(
+            unserved.is_empty(),
+            "DEADLOCK in exhaustive exploration: nodes {unserved:?} never served"
+        );
+        report.completions += 1;
+    }
+}
+
+/// Configuration for [`run_random_workload`].
+#[derive(Clone, Debug)]
+pub struct ExerciseCfg {
+    /// Requests each active node must complete.
+    pub rounds_per_node: usize,
+    /// Maximum request size (the paper's φ); actual sizes are uniform in
+    /// `1..=max_req_size`.
+    pub max_req_size: usize,
+    /// Number of resources (the paper's M).
+    pub m: usize,
+    /// Scheduler steps a node stays in CS before releasing (models CS
+    /// duration as a number of interleaving opportunities).
+    pub hold_steps: usize,
+    /// Only nodes `0..active_nodes` issue requests (coordinator-style
+    /// algorithms keep their coordinator passive).  `None` = all nodes.
+    pub active_nodes: Option<usize>,
+    /// Abort (liveness failure) after this many scheduler actions.
+    pub step_cap: u64,
+}
+
+impl Default for ExerciseCfg {
+    fn default() -> Self {
+        ExerciseCfg {
+            rounds_per_node: 5,
+            max_req_size: 3,
+            m: 6,
+            hold_steps: 3,
+            active_nodes: None,
+            step_cap: 2_000_000,
+        }
+    }
+}
+
+/// Outcome of a randomized workload run.
+#[derive(Clone, Debug)]
+pub struct ExerciseReport {
+    /// Critical sections completed (== rounds_per_node × active nodes).
+    pub cs_completed: u64,
+    /// Scheduler actions executed.
+    pub actions: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Maximum CS concurrency observed (≥ 2 proves the concurrency property
+    /// is exploited on non-conflicting requests).
+    pub max_concurrency: usize,
+}
+
+/// Drive a network with a random workload under a random interleaving and
+/// check safety + liveness throughout.
+///
+/// Every active node performs `rounds_per_node` request/CS/release cycles
+/// with uniformly random resource sets.  Actions (deliver a message, issue a
+/// request, progress a CS) are chosen uniformly at random, so every
+/// interleaving has positive probability.
+///
+/// # Panics
+/// * on any safety violation (via [`SafetyMonitor`]);
+/// * on deadlock: requests pending but no action possible;
+/// * on liveness failure: `step_cap` exceeded.
+pub fn run_random_workload<A: Allocator>(
+    net: &mut VirtualNet<A>,
+    cfg: &ExerciseCfg,
+    rng: &mut StdRng,
+) -> ExerciseReport {
+    let n_active = cfg.active_nodes.unwrap_or(net.len());
+    assert!(n_active <= net.len());
+    assert!(cfg.max_req_size >= 1 && cfg.max_req_size <= cfg.m);
+
+    let mut quota = vec![cfg.rounds_per_node; n_active];
+    let mut holds = vec![0usize; n_active];
+    let mut completed = 0u64;
+    let mut actions = 0u64;
+    let mut max_conc = 0usize;
+
+    #[derive(Clone, Copy)]
+    enum Act {
+        Deliver,
+        Issue(NodeId),
+        Hold(NodeId),
+    }
+
+    loop {
+        let mut candidates: Vec<Act> = Vec::new();
+        if net.in_flight() > 0 {
+            // Weight delivery in proportion to in-flight traffic so queues
+            // drain; one entry per message keeps selection uniform-ish.
+            for _ in 0..net.in_flight().min(8) {
+                candidates.push(Act::Deliver);
+            }
+        }
+        for i in 0..n_active {
+            if net.in_cs(i) {
+                candidates.push(Act::Hold(i));
+            } else if quota[i] > 0 && net.state(i) == ProcState::Idle {
+                candidates.push(Act::Issue(i));
+            }
+        }
+
+        if candidates.is_empty() {
+            let waiting: Vec<NodeId> = (0..n_active)
+                .filter(|&i| {
+                    !net.in_cs(i) && net.state(i) != ProcState::Idle
+                })
+                .collect();
+            if waiting.is_empty() {
+                break; // all quotas exhausted, everything granted: done
+            }
+            let states: Vec<String> = (0..net.len())
+                .map(|i| format!("n{}={}", i, net.state(i)))
+                .collect();
+            panic!(
+                "DEADLOCK: nodes {waiting:?} waiting, no messages in flight, \
+                 nobody in CS; states: {}",
+                states.join(" ")
+            );
+        }
+
+        match candidates[rng.gen_range(0..candidates.len())] {
+            Act::Deliver => {
+                net.deliver_one(rng);
+            }
+            Act::Issue(i) => {
+                let size = rng.gen_range(1..=cfg.max_req_size);
+                let mut set = ResourceSet::new();
+                while set.len() < size {
+                    set.insert(rng.gen_range(0..cfg.m));
+                }
+                quota[i] -= 1;
+                holds[i] = cfg.hold_steps;
+                net.request(i, set);
+            }
+            Act::Hold(i) => {
+                if holds[i] > 0 {
+                    holds[i] -= 1;
+                } else {
+                    net.release(i);
+                    completed += 1;
+                }
+            }
+        }
+        max_conc = max_conc.max(net.monitor.concurrency());
+        actions += 1;
+        assert!(
+            actions <= cfg.step_cap,
+            "LIVENESS FAILURE: exceeded {} actions with {} CS completed \
+             (of {}); in flight: {}",
+            cfg.step_cap,
+            completed,
+            (cfg.rounds_per_node * n_active) as u64,
+            net.in_flight()
+        );
+    }
+
+    ExerciseReport {
+        cs_completed: completed,
+        actions,
+        delivered: net.delivered(),
+        max_concurrency: max_conc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WireMsg;
+    use rand::SeedableRng;
+
+    /// A trivially safe "protocol": a single-node system that grants itself.
+    /// Exercises the harness plumbing.
+    struct Solo {
+        state: ProcState,
+    }
+
+    #[derive(Clone, Debug)]
+    enum NoMsg {}
+    impl WireMsg for NoMsg {
+        fn kind(&self) -> &'static str {
+            match *self {}
+        }
+    }
+
+    impl Allocator for Solo {
+        type Msg = NoMsg;
+        fn on_init(&mut self, _ctx: &mut Ctx<NoMsg>) {}
+        fn on_message(&mut self, _ctx: &mut Ctx<NoMsg>, _from: NodeId, msg: NoMsg) {
+            match msg {}
+        }
+        fn request(&mut self, ctx: &mut Ctx<NoMsg>, _resources: ResourceSet) {
+            self.state = ProcState::InCS;
+            ctx.grant();
+        }
+        fn release(&mut self, _ctx: &mut Ctx<NoMsg>) {
+            self.state = ProcState::Idle;
+        }
+        fn state(&self) -> ProcState {
+            self.state
+        }
+        fn name(&self) -> &'static str {
+            "solo"
+        }
+    }
+
+    #[test]
+    fn solo_workload_completes() {
+        let mut net = VirtualNet::new(vec![Solo { state: ProcState::Idle }], 4);
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = ExerciseCfg {
+            rounds_per_node: 10,
+            max_req_size: 2,
+            m: 4,
+            ..Default::default()
+        };
+        let rep = run_random_workload(&mut net, &cfg, &mut rng);
+        assert_eq!(rep.cs_completed, 10);
+        assert_eq!(rep.delivered, 0);
+    }
+
+    #[test]
+    fn monitor_catches_double_grant() {
+        let mut mon = SafetyMonitor::new(2, 3);
+        mon.enter(0, ResourceSet::singleton(1));
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            mon.enter(1, ResourceSet::singleton(1));
+        }));
+        assert!(boom.is_err(), "expected safety panic");
+    }
+
+    #[test]
+    fn monitor_tracks_concurrency() {
+        let mut mon = SafetyMonitor::new(3, 6);
+        mon.enter(0, ResourceSet::singleton(0));
+        mon.enter(1, ResourceSet::singleton(1));
+        assert_eq!(mon.concurrency(), 2);
+        mon.exit(0);
+        assert_eq!(mon.concurrency(), 1);
+        assert!(mon.is_in_cs(1));
+        assert!(!mon.is_in_cs(0));
+    }
+}

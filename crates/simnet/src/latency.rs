@@ -1,0 +1,132 @@
+//! Network latency models.
+//!
+//! The paper's testbed had γ ≈ 0.6 ms point-to-point latency on a flat
+//! 10 GbE switch — [`LatencyModel::Constant`] reproduces that.  The other
+//! models support the robustness and future-work experiments:
+//! [`LatencyModel::Uniform`] adds jitter (FIFO ordering is enforced by the
+//! engine regardless), and [`LatencyModel::Hierarchical`] models the
+//! "hierarchical physical topology such as Clouds" of the paper's
+//! conclusion — two or more clusters with cheap intra-cluster and expensive
+//! inter-cluster links.
+
+use mra_types::{NodeId, Time};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How long a message from `src` to `dst` spends on the wire.
+#[derive(Clone, Debug)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long (the paper's γ).
+    Constant(Time),
+    /// Uniformly random in `[lo, hi]` per message.
+    Uniform {
+        /// Minimum latency.
+        lo: Time,
+        /// Maximum latency.
+        hi: Time,
+    },
+    /// Cluster topology: `cluster[i]` is node `i`'s cluster; messages
+    /// within a cluster take `intra`, across clusters `inter`.
+    Hierarchical {
+        /// Cluster index of each node.
+        cluster: Vec<usize>,
+        /// Intra-cluster latency.
+        intra: Time,
+        /// Inter-cluster latency.
+        inter: Time,
+    },
+    /// Zero latency: used for the "in shared memory" scheduler, whose
+    /// synchronization cost must be nil (paper §5.2).
+    Zero,
+}
+
+impl LatencyModel {
+    /// The paper's LAN: γ = 0.6 ms.
+    pub fn paper_lan() -> Self {
+        LatencyModel::Constant(Time::from_micros(600))
+    }
+
+    /// A two-cluster cloud with the given split point: nodes `< split` in
+    /// cluster 0, the rest in cluster 1.
+    pub fn two_clusters(n: usize, split: usize, intra: Time, inter: Time) -> Self {
+        LatencyModel::Hierarchical {
+            cluster: (0..n).map(|i| usize::from(i >= split)).collect(),
+            intra,
+            inter,
+        }
+    }
+
+    /// Sample the latency for one message.
+    pub fn sample(&self, src: NodeId, dst: NodeId, rng: &mut StdRng) -> Time {
+        match self {
+            LatencyModel::Constant(t) => *t,
+            LatencyModel::Uniform { lo, hi } => {
+                debug_assert!(lo <= hi);
+                let span = hi.as_nanos() - lo.as_nanos();
+                if span == 0 {
+                    *lo
+                } else {
+                    Time::from_nanos(lo.as_nanos() + rng.gen_range(0..=span))
+                }
+            }
+            LatencyModel::Hierarchical {
+                cluster,
+                intra,
+                inter,
+            } => {
+                if cluster[src] == cluster[dst] {
+                    *intra
+                } else {
+                    *inter
+                }
+            }
+            LatencyModel::Zero => Time::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_is_constant() {
+        let m = LatencyModel::paper_lan();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(m.sample(0, 1, &mut rng), Time::from_micros(600));
+        assert_eq!(m.sample(3, 2, &mut rng), Time::from_micros(600));
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let lo = Time::from_micros(100);
+        let hi = Time::from_micros(200);
+        let m = LatencyModel::Uniform { lo, hi };
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let t = m.sample(0, 1, &mut rng);
+            assert!(t >= lo && t <= hi);
+        }
+    }
+
+    #[test]
+    fn hierarchical_distinguishes_clusters() {
+        let m = LatencyModel::two_clusters(
+            4,
+            2,
+            Time::from_micros(100),
+            Time::from_millis(5),
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(m.sample(0, 1, &mut rng), Time::from_micros(100));
+        assert_eq!(m.sample(2, 3, &mut rng), Time::from_micros(100));
+        assert_eq!(m.sample(1, 2, &mut rng), Time::from_millis(5));
+    }
+
+    #[test]
+    fn zero_is_free() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(LatencyModel::Zero.sample(0, 5, &mut rng), Time::ZERO);
+    }
+}

@@ -1,0 +1,41 @@
+//! # mra-sim — deterministic discrete-event simulation of message-passing
+//! allocation protocols
+//!
+//! The paper evaluated its algorithms on a 32-node cluster (C++/OpenMPI,
+//! 10 GbE).  This crate substitutes that testbed with a **deterministic
+//! discrete-event simulator**: protocols implementing
+//! [`mra_protocol::Allocator`] run unmodified over simulated reliable FIFO
+//! links with configurable latency (the paper's γ ≈ 0.6 ms), driven by a
+//! workload model (the paper's α, β, ρ, φ — provided by `mra-workloads`),
+//! while the engine records the two metrics of the paper's §5 — **resource
+//! use rate** and **request waiting time** — plus message-complexity
+//! metrics the paper discusses qualitatively.
+//!
+//! Modules:
+//!
+//! * [`sim`] — the event loop ([`sim::Sim`]), virtual clock and FIFO links;
+//! * [`latency`] — latency models (constant, jittered, hierarchical
+//!   two-cluster "cloud" topology for the paper's future-work experiment);
+//! * [`driver`] — the per-node request/CS/think lifecycle
+//!   ([`driver::Workload`] is implemented by `mra-workloads`);
+//! * [`metrics`] — per-request records, use-rate accounting and summaries;
+//! * [`stats`] — small numerically careful helpers (mean/std/percentiles);
+//! * [`trace`] — ASCII Gantt rendering of runs (the paper's Fig. 1 / 4);
+//! * [`threaded`] — a real-concurrency runtime (one OS thread per node,
+//!   crossbeam channels) running the very same protocol code, used to
+//!   validate the protocols outside the simulator.
+
+pub mod driver;
+pub mod latency;
+pub mod metrics;
+pub mod sim;
+pub mod stats;
+pub mod threaded;
+pub mod trace;
+
+pub use driver::{FixedWorkload, Workload};
+pub use latency::LatencyModel;
+pub use metrics::{ReqRecord, RunResult, WaitStats};
+pub use sim::{Sim, SimConfig};
+pub use threaded::{run_threaded, ThreadedConfig};
+pub use trace::render_gantt;

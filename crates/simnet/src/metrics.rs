@@ -1,0 +1,386 @@
+//! Run metrics: per-request records, resource-use-rate accounting and
+//! summary statistics (the paper's §5.2 and §5.3 metrics).
+
+use crate::stats;
+use mra_types::{NodeId, ResourceSet, Time};
+
+/// Full life of one critical-section request.
+#[derive(Clone, Debug)]
+pub struct ReqRecord {
+    /// Requesting node.
+    pub node: NodeId,
+    /// Requested resources.
+    pub set: ResourceSet,
+    /// Request size (`|set|` — the paper's `x`).
+    pub size: usize,
+    /// Issue instant.
+    pub issued: Time,
+    /// Grant instant (CS entry), if reached before the run ended.
+    pub granted: Option<Time>,
+    /// Release instant, if reached before the run ended.
+    pub released: Option<Time>,
+}
+
+impl ReqRecord {
+    /// Waiting time (grant − issue), if granted.
+    pub fn wait(&self) -> Option<Time> {
+        self.granted.map(|g| g - self.issued)
+    }
+}
+
+/// Waiting-time statistics in milliseconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WaitStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean waiting time (ms).
+    pub mean_ms: f64,
+    /// Sample standard deviation (ms).
+    pub std_ms: f64,
+    /// Median (ms).
+    pub median_ms: f64,
+    /// 95th percentile (ms).
+    pub p95_ms: f64,
+}
+
+impl WaitStats {
+    /// Compute from raw waits in milliseconds.
+    pub fn from_ms(ms: &[f64]) -> Self {
+        WaitStats {
+            count: ms.len(),
+            mean_ms: stats::mean(ms),
+            std_ms: stats::std_dev(ms),
+            median_ms: stats::median(ms),
+            p95_ms: stats::percentile(ms, 95.0),
+        }
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Algorithm name (from `Allocator::name`).
+    pub algo: String,
+    /// Number of nodes (including a passive coordinator, if any).
+    pub n: usize,
+    /// Number of resources.
+    pub m: usize,
+    /// Measurement window.
+    pub window: (Time, Time),
+    /// All requests *issued inside the window* (in issue order).
+    pub records: Vec<ReqRecord>,
+    /// Per-resource busy time inside the window.
+    pub busy: Vec<Time>,
+    /// Total messages delivered (whole run).
+    pub msgs_total: u64,
+    /// Total message weight (approximate ints on the wire).
+    pub msg_weight: u64,
+    /// Message count by kind.
+    pub msg_by_kind: Vec<(&'static str, u64)>,
+    /// Critical sections completed inside the window.
+    pub cs_completed: u64,
+    /// Requests issued in the window but never granted before the run end
+    /// (censored: excluded from waiting-time stats, reported for honesty).
+    pub censored: u64,
+}
+
+impl RunResult {
+    /// The paper's **resource use rate**: fraction of resource-time in use
+    /// during the window (Fig. 4's colored area), in `[0, 1]`.
+    pub fn use_rate(&self) -> f64 {
+        let (a, b) = self.window;
+        let span = (b - a).as_secs_f64();
+        if span <= 0.0 || self.m == 0 {
+            return 0.0;
+        }
+        let total: f64 = self.busy.iter().map(|t| t.as_secs_f64()).sum();
+        total / (span * self.m as f64)
+    }
+
+    /// Waiting-time statistics over all granted requests in the window.
+    pub fn wait_stats(&self) -> WaitStats {
+        let ms: Vec<f64> = self
+            .records
+            .iter()
+            .filter_map(|r| r.wait())
+            .map(|t| t.as_millis_f64())
+            .collect();
+        WaitStats::from_ms(&ms)
+    }
+
+    /// Waiting-time statistics restricted to request sizes in `lo..=hi`
+    /// (the paper's Fig. 7 buckets).
+    pub fn wait_stats_sized(&self, lo: usize, hi: usize) -> WaitStats {
+        let ms: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|r| r.size >= lo && r.size <= hi)
+            .filter_map(|r| r.wait())
+            .map(|t| t.as_millis_f64())
+            .collect();
+        WaitStats::from_ms(&ms)
+    }
+
+    /// Split `1..=phi` into `buckets` contiguous ranges and return
+    /// `(lo, hi, stats)` per bucket — exactly how Fig. 7 groups request
+    /// sizes (labels 1res, 17res, …, 80res for φ = 80 and 6 buckets).
+    pub fn wait_buckets(&self, phi: usize, buckets: usize) -> Vec<(usize, usize, WaitStats)> {
+        assert!(buckets >= 1 && phi >= 1);
+        let width = (phi as f64 / buckets as f64).ceil() as usize;
+        let mut out = Vec::new();
+        let mut lo = 1usize;
+        while lo <= phi {
+            let hi = (lo + width - 1).min(phi);
+            out.push((lo, hi, self.wait_stats_sized(lo, hi)));
+            lo = hi + 1;
+        }
+        out
+    }
+
+    /// Messages per completed critical section (message complexity proxy).
+    pub fn msgs_per_cs(&self) -> f64 {
+        if self.cs_completed == 0 {
+            return 0.0;
+        }
+        self.msgs_total as f64 / self.cs_completed as f64
+    }
+
+    /// Mean CS concurrency: average number of nodes simultaneously in CS
+    /// (time-weighted, window-clipped).
+    pub fn mean_concurrency(&self) -> f64 {
+        let (a, b) = self.window;
+        let span = (b - a).as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        let cs_time: f64 = self
+            .records
+            .iter()
+            .filter_map(|r| {
+                let g = r.granted?;
+                let e = r.released.unwrap_or(b);
+                let s = g.max(a).min(b);
+                let t = e.max(a).min(b);
+                Some((t.saturating_sub(s)).as_secs_f64())
+            })
+            .sum();
+        cs_time / span
+    }
+}
+
+/// Accumulates metrics while a run executes.
+#[derive(Debug)]
+pub struct Collector {
+    window: (Time, Time),
+    m: usize,
+    outstanding: Vec<Option<ReqRecord>>,
+    records: Vec<ReqRecord>,
+    busy: Vec<Time>,
+    msgs_total: u64,
+    msg_weight: u64,
+    msg_by_kind: Vec<(&'static str, u64)>,
+    cs_completed: u64,
+}
+
+impl Collector {
+    /// New collector for `n` nodes, `m` resources and the given window.
+    pub fn new(n: usize, m: usize, window: (Time, Time)) -> Self {
+        Collector {
+            window,
+            m,
+            outstanding: (0..n).map(|_| None).collect(),
+            records: Vec::new(),
+            busy: vec![Time::ZERO; m],
+            msgs_total: 0,
+            msg_weight: 0,
+            msg_by_kind: Vec::new(),
+            cs_completed: 0,
+        }
+    }
+
+    /// A request was issued.
+    pub fn on_issue(&mut self, node: NodeId, set: ResourceSet, now: Time) {
+        debug_assert!(self.outstanding[node].is_none());
+        self.outstanding[node] = Some(ReqRecord {
+            node,
+            set,
+            size: set.len(),
+            issued: now,
+            granted: None,
+            released: None,
+        });
+    }
+
+    /// The node entered its CS.
+    pub fn on_grant(&mut self, node: NodeId, now: Time) {
+        if let Some(rec) = self.outstanding[node].as_mut() {
+            debug_assert!(rec.granted.is_none());
+            rec.granted = Some(now);
+        }
+    }
+
+    /// The node released; fold the record in.
+    pub fn on_release(&mut self, node: NodeId, now: Time) {
+        if let Some(mut rec) = self.outstanding[node].take() {
+            rec.released = Some(now);
+            self.fold(rec);
+        }
+    }
+
+    /// A message was delivered.
+    pub fn on_message(&mut self, kind: &'static str, weight: usize) {
+        self.msgs_total += 1;
+        self.msg_weight += weight as u64;
+        match self.msg_by_kind.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, c)) => *c += 1,
+            None => self.msg_by_kind.push((kind, 1)),
+        }
+    }
+
+    fn fold(&mut self, rec: ReqRecord) {
+        let (a, b) = self.window;
+        if let (Some(g), Some(e)) = (rec.granted, rec.released) {
+            // Busy-time contribution clipped to the window.
+            let s = g.max(a).min(b);
+            let t = e.max(a).min(b);
+            if t > s {
+                for r in rec.set.iter() {
+                    self.busy[r] += t - s;
+                }
+            }
+            if rec.issued >= a && rec.issued < b {
+                self.cs_completed += 1;
+            }
+        }
+        if rec.issued >= a && rec.issued < b {
+            self.records.push(rec);
+        }
+    }
+
+    /// Close the run at `end`: outstanding requests are folded (granted
+    /// ones contribute busy time up to the window end; ungranted ones are
+    /// counted as censored).  The window is clamped to the actual end so
+    /// open-ended runs (threaded runtime) get a correct use-rate
+    /// denominator.
+    pub fn finish(mut self, algo: &str, n: usize, end: Time) -> RunResult {
+        if end < self.window.1 {
+            self.window.1 = end.max(self.window.0);
+        }
+        let mut censored = 0u64;
+        let outstanding = std::mem::take(&mut self.outstanding);
+        for rec in outstanding.into_iter().flatten() {
+            let (a, b) = self.window;
+            if rec.granted.is_some() {
+                let mut rec = rec;
+                rec.released = Some(end.min(b).max(rec.granted.unwrap()));
+                self.fold(rec);
+            } else if rec.issued >= a && rec.issued < b {
+                censored += 1;
+            }
+        }
+        debug_assert_eq!(self.busy.len(), self.m);
+        RunResult {
+            algo: algo.to_string(),
+            n,
+            m: self.m,
+            window: self.window,
+            records: self.records,
+            busy: self.busy,
+            msgs_total: self.msgs_total,
+            msg_weight: self.msg_weight,
+            msg_by_kind: self.msg_by_kind,
+            cs_completed: self.cs_completed,
+            censored,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Time {
+        Time::from_millis(ms)
+    }
+
+    #[test]
+    fn use_rate_counts_window_overlap_only() {
+        let mut c = Collector::new(2, 2, (t(10), t(20)));
+        // Node 0 uses resource 0 from 5 to 15: 5 ms inside the window.
+        c.on_issue(0, ResourceSet::singleton(0), t(4));
+        c.on_grant(0, t(5));
+        c.on_release(0, t(15));
+        // Node 1 uses resource 1 for the whole window and beyond.
+        c.on_issue(1, ResourceSet::singleton(1), t(1));
+        c.on_grant(1, t(2));
+        c.on_release(1, t(30));
+        let res = c.finish("x", 2, t(30));
+        // busy = (5 + 10) ms over a 10 ms × 2 resources window = 75 %.
+        assert!((res.use_rate() - 0.75).abs() < 1e-9);
+        // Neither request was issued inside the window.
+        assert_eq!(res.records.len(), 0);
+        assert_eq!(res.cs_completed, 0);
+    }
+
+    #[test]
+    fn waiting_time_stats() {
+        let mut c = Collector::new(2, 1, (t(0), t(100)));
+        c.on_issue(0, ResourceSet::singleton(0), t(10));
+        c.on_grant(0, t(14));
+        c.on_release(0, t(20));
+        c.on_issue(1, ResourceSet::singleton(0), t(20));
+        c.on_grant(1, t(28));
+        c.on_release(1, t(30));
+        let res = c.finish("x", 2, t(100));
+        let w = res.wait_stats();
+        assert_eq!(w.count, 2);
+        assert!((w.mean_ms - 6.0).abs() < 1e-9); // (4 + 8) / 2
+        assert_eq!(res.cs_completed, 2);
+        assert_eq!(res.censored, 0);
+    }
+
+    #[test]
+    fn censored_requests_counted() {
+        let mut c = Collector::new(1, 1, (t(0), t(100)));
+        c.on_issue(0, ResourceSet::singleton(0), t(50));
+        let res = c.finish("x", 1, t(100));
+        assert_eq!(res.censored, 1);
+        assert_eq!(res.wait_stats().count, 0);
+    }
+
+    #[test]
+    fn in_cs_at_end_contributes_busy_time() {
+        let mut c = Collector::new(1, 1, (t(0), t(100)));
+        c.on_issue(0, ResourceSet::singleton(0), t(10));
+        c.on_grant(0, t(10));
+        // never released: run ends at 100
+        let res = c.finish("x", 1, t(100));
+        assert!((res.use_rate() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buckets_cover_range() {
+        let c = Collector::new(1, 1, (t(0), t(10)));
+        let res = c.finish("x", 1, t(10));
+        let buckets = res.wait_buckets(80, 5);
+        assert_eq!(buckets.len(), 5);
+        assert_eq!(buckets[0].0, 1);
+        assert_eq!(buckets.last().unwrap().1, 80);
+        // contiguous
+        for w in buckets.windows(2) {
+            assert_eq!(w[0].1 + 1, w[1].0);
+        }
+    }
+
+    #[test]
+    fn message_accounting() {
+        let mut c = Collector::new(1, 1, (t(0), t(10)));
+        c.on_message("A", 2);
+        c.on_message("A", 3);
+        c.on_message("B", 1);
+        let res = c.finish("x", 1, t(10));
+        assert_eq!(res.msgs_total, 3);
+        assert_eq!(res.msg_weight, 6);
+        assert_eq!(res.msg_by_kind, vec![("A", 2), ("B", 1)]);
+    }
+}

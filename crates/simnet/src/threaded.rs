@@ -1,0 +1,339 @@
+//! Real-concurrency runtime: one OS thread per node, crossbeam channels as
+//! links.
+//!
+//! The discrete-event simulator explores timing; this runtime validates
+//! that the very same protocol state machines behave correctly under *real*
+//! parallelism — true asynchrony, preemption and cross-thread message
+//! passing — which is what the paper's C++/OpenMPI deployment faced.
+//! Durations are wall-clock: keep them small in tests.
+//!
+//! Each node thread owns its protocol instance and driver and services its
+//! inbox.  Link latency is emulated by stamping each message with a
+//! delivery deadline that the receiver waits out; channel order preserves
+//! per-link FIFO.  The run is quota-based: every active node completes
+//! `rounds` request/CS cycles, then keeps serving protocol traffic until
+//! the last finisher broadcasts shutdown.
+
+use crate::driver::{Driver, DriverState, Workload};
+use crate::metrics::{Collector, RunResult};
+use mra_protocol::testkit::SafetyMonitor;
+use mra_protocol::{Allocator, Ctx, WireMsg};
+use mra_types::{NodeId, Time};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of a threaded run.
+#[derive(Clone, Debug)]
+pub struct ThreadedConfig {
+    /// Request/CS cycles per active node.
+    pub rounds: usize,
+    /// Emulated link latency (constant).
+    pub latency: Time,
+    /// Master seed for workload randomness.
+    pub seed: u64,
+    /// Only nodes `0..active` issue requests (`None` = all).
+    pub active_nodes: Option<usize>,
+}
+
+enum Envelope<M> {
+    Msg {
+        from: NodeId,
+        deliver_at: Instant,
+        msg: M,
+    },
+    Shutdown,
+}
+
+struct Shared<M> {
+    senders: Vec<crossbeam::channel::Sender<Envelope<M>>>,
+    monitor: Mutex<SafetyMonitor>,
+    collector: Mutex<Collector>,
+    /// Active nodes still short of their quota.
+    remaining: AtomicUsize,
+    epoch: Instant,
+    latency: Time,
+}
+
+impl<M> Shared<M> {
+    fn now(&self) -> Time {
+        Time::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+}
+
+/// Run `protos` under real threads until every active node has completed
+/// its round quota; returns the collected metrics.
+///
+/// # Panics
+/// On any safety violation (monitored exactly like the simulator).
+pub fn run_threaded<A, W>(
+    protos: Vec<A>,
+    workloads: Vec<W>,
+    m: usize,
+    cfg: ThreadedConfig,
+) -> RunResult
+where
+    A: Allocator + Send + 'static,
+    W: Workload + 'static,
+{
+    let n = protos.len();
+    assert_eq!(n, workloads.len());
+    let active = cfg.active_nodes.unwrap_or(n);
+    assert!(active >= 1 && active <= n);
+
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = crossbeam::channel::unbounded::<Envelope<A::Msg>>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    let shared = Arc::new(Shared {
+        senders,
+        monitor: Mutex::new(SafetyMonitor::new(n, m)),
+        // Window is clamped to the actual end time by `Collector::finish`.
+        collector: Mutex::new(Collector::new(n, m, (Time::ZERO, Time::from_secs(3600)))),
+        remaining: AtomicUsize::new(active),
+        epoch: Instant::now(),
+        latency: cfg.latency,
+    });
+
+    let algo = protos[0].name().to_string();
+    let mut handles = Vec::with_capacity(n);
+    for (i, ((proto, workload), rx)) in protos
+        .into_iter()
+        .zip(workloads)
+        .zip(receivers)
+        .enumerate()
+    {
+        let shared = Arc::clone(&shared);
+        let cfg = cfg.clone();
+        let is_active = i < active;
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("mra-node-{i}"))
+                .spawn(move || node_main(i, n, proto, workload, rx, shared, cfg, is_active))
+                .expect("spawn node thread"),
+        );
+    }
+    for h in handles {
+        h.join().expect("node thread panicked");
+    }
+
+    let end = shared.now();
+    let shared = Arc::try_unwrap(shared)
+        .unwrap_or_else(|_| panic!("thread leaked a Shared reference"));
+    shared.collector.into_inner().finish(&algo, n, end)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn node_main<A, W>(
+    me: NodeId,
+    n: usize,
+    mut proto: A,
+    mut workload: W,
+    rx: crossbeam::channel::Receiver<Envelope<A::Msg>>,
+    shared: Arc<Shared<A::Msg>>,
+    cfg: ThreadedConfig,
+    is_active: bool,
+) where
+    A: Allocator,
+    W: Workload,
+{
+    let mut ctx: Ctx<A::Msg> = Ctx::new(me, n);
+    let mut driver = Driver::new();
+    let mut rng =
+        StdRng::seed_from_u64(cfg.seed ^ (me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+    ctx.set_now(shared.now());
+    proto.on_init(&mut ctx);
+    flush_and_grants(me, &mut proto, &mut ctx, &mut driver, &shared, &mut None);
+
+    let mut rounds_left = if is_active { cfg.rounds } else { 0 };
+    // The pending timer: think expiry or CS expiry, depending on state.
+    let mut deadline: Option<Instant> = is_active
+        .then(|| Instant::now() + workload.think_time(&mut rng).to_std());
+    if !is_active {
+        driver.park();
+    }
+
+    loop {
+        let received = match deadline {
+            Some(d) => match rx.recv_deadline(d) {
+                Ok(env) => Some(env),
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+            },
+            None => match rx.recv() {
+                Ok(env) => Some(env),
+                Err(_) => return,
+            },
+        };
+
+        match received {
+            Some(Envelope::Shutdown) => return,
+            Some(Envelope::Msg {
+                from,
+                deliver_at,
+                msg,
+            }) => {
+                let wait = deliver_at.saturating_duration_since(Instant::now());
+                if !wait.is_zero() {
+                    std::thread::sleep(wait);
+                }
+                ctx.set_now(shared.now());
+                proto.on_message(&mut ctx, from, msg);
+                flush_and_grants(me, &mut proto, &mut ctx, &mut driver, &shared, &mut deadline);
+            }
+            None => {
+                // Timer fired.
+                match driver.state() {
+                    DriverState::Thinking => {
+                        let set = driver.issue(&mut workload, &mut rng);
+                        shared.collector.lock().on_issue(me, set, shared.now());
+                        deadline = None; // wait for the grant
+                        ctx.set_now(shared.now());
+                        proto.request(&mut ctx, set);
+                        flush_and_grants(
+                            me,
+                            &mut proto,
+                            &mut ctx,
+                            &mut driver,
+                            &shared,
+                            &mut deadline,
+                        );
+                    }
+                    DriverState::InCs => {
+                        shared.collector.lock().on_release(me, shared.now());
+                        shared.monitor.lock().exit(me);
+                        driver.released();
+                        ctx.set_now(shared.now());
+                        proto.release(&mut ctx);
+                        deadline = None;
+                        flush_and_grants(
+                            me,
+                            &mut proto,
+                            &mut ctx,
+                            &mut driver,
+                            &shared,
+                            &mut deadline,
+                        );
+                        rounds_left -= 1;
+                        if rounds_left == 0 {
+                            driver.park();
+                            if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                // Last finisher: release everyone.
+                                for s in &shared.senders {
+                                    let _ = s.send(Envelope::Shutdown);
+                                }
+                            }
+                        } else {
+                            deadline = Some(
+                                Instant::now() + workload.think_time(&mut rng).to_std(),
+                            );
+                        }
+                    }
+                    // Waiting/Parked never arm a timer.
+                    other => unreachable!("timer in state {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+/// Drain the outbox onto the channels and turn a grant edge into CS
+/// bookkeeping (+ CS-end timer).
+fn flush_and_grants<A: Allocator>(
+    me: NodeId,
+    _proto: &mut A,
+    ctx: &mut Ctx<A::Msg>,
+    driver: &mut Driver,
+    shared: &Arc<Shared<A::Msg>>,
+    deadline: &mut Option<Instant>,
+) {
+    let out = ctx.take_outbox();
+    if !out.is_empty() {
+        let deliver_at = Instant::now() + shared.latency.to_std();
+        let mut collector = shared.collector.lock();
+        for (to, msg) in out {
+            collector.on_message(msg.kind(), msg.weight());
+            let _ = shared.senders[to].send(Envelope::Msg {
+                from: me,
+                deliver_at,
+                msg,
+            });
+        }
+    }
+    if ctx.take_granted() {
+        let set = driver.current_set();
+        shared.monitor.lock().enter(me, set);
+        shared.collector.lock().on_grant(me, shared.now());
+        let cs = driver.granted();
+        *deadline = Some(Instant::now() + cs.to_std());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::FixedWorkload;
+    use mra_baselines::{BouabdallahLaforest, Central, GrantPolicy};
+    use mra_core::LassConfig;
+
+    fn quick_workloads(n: usize, m: usize, size: usize) -> Vec<FixedWorkload> {
+        (0..n)
+            .map(|_| FixedWorkload {
+                think: Time::from_micros(200),
+                cs: Time::from_micros(300),
+                m,
+                size,
+            })
+            .collect()
+    }
+
+    fn quick_cfg(seed: u64) -> ThreadedConfig {
+        ThreadedConfig {
+            rounds: 6,
+            latency: Time::from_micros(50),
+            seed,
+            active_nodes: None,
+        }
+    }
+
+    #[test]
+    fn lass_runs_on_real_threads() {
+        let cfg = LassConfig::with_loan(4, 8);
+        let res = run_threaded(cfg.build_nodes(), quick_workloads(4, 8, 2), 8, quick_cfg(1));
+        assert_eq!(res.cs_completed, 24);
+        assert_eq!(res.censored, 0);
+        assert!(res.wait_stats().count == 24);
+    }
+
+    #[test]
+    fn bouabdallah_laforest_runs_on_real_threads() {
+        let res = run_threaded(
+            BouabdallahLaforest::build_nodes(4, 6),
+            quick_workloads(4, 6, 2),
+            6,
+            quick_cfg(2),
+        );
+        assert_eq!(res.cs_completed, 24);
+    }
+
+    #[test]
+    fn central_coordinator_runs_on_real_threads() {
+        let mut cfg = quick_cfg(3);
+        cfg.active_nodes = Some(3);
+        let res = run_threaded(
+            Central::build_nodes(3, GrantPolicy::Conservative),
+            quick_workloads(4, 6, 2),
+            6,
+            cfg,
+        );
+        assert_eq!(res.cs_completed, 18);
+    }
+}

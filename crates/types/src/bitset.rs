@@ -1,0 +1,382 @@
+//! Fixed-capacity bitsets.
+//!
+//! Requests, token ownership, visited-node sets and conflict checks all
+//! manipulate sets of small integers on the protocol hot paths.  A
+//! `Copy` 4-word bitset avoids the allocation and hashing costs of
+//! `HashSet<usize>` while still supporting every set operation the
+//! algorithms need.
+
+use crate::MAX_UNIVERSE;
+use std::fmt;
+
+const WORDS: usize = MAX_UNIVERSE / 64;
+
+/// A set of integers in `0..256`, stored as four `u64` words.
+///
+/// All operations are O(words) = O(1).  The type is `Copy`, so protocol
+/// messages can embed sets freely.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct BitSet256 {
+    words: [u64; WORDS],
+}
+
+impl BitSet256 {
+    /// The empty set.
+    pub const EMPTY: BitSet256 = BitSet256 { words: [0; WORDS] };
+
+    /// Create an empty set.
+    #[inline]
+    pub const fn new() -> Self {
+        Self::EMPTY
+    }
+
+    /// Create the full set `{0, .., n-1}`.
+    ///
+    /// # Panics
+    /// If `n > 256`.
+    pub fn full(n: usize) -> Self {
+        assert!(n <= MAX_UNIVERSE, "BitSet256 supports at most {MAX_UNIVERSE} elements");
+        let mut s = Self::new();
+        for i in 0..n {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Create a singleton set `{i}`.
+    #[inline]
+    pub fn singleton(i: usize) -> Self {
+        let mut s = Self::new();
+        s.insert(i);
+        s
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if the set has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Add element `i`. Returns true if it was newly inserted.
+    ///
+    /// # Panics
+    /// If `i >= 256` (debug and release: the index math would be UB-adjacent
+    /// otherwise, so the bound is always checked).
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < MAX_UNIVERSE, "BitSet256 index {i} out of range");
+        let (w, b) = (i / 64, i % 64);
+        let newly = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        newly
+    }
+
+    /// Remove element `i`. Returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < MAX_UNIVERSE, "BitSet256 index {i} out of range");
+        let (w, b) = (i / 64, i % 64);
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= MAX_UNIVERSE {
+            return false;
+        }
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Remove all elements.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.words = [0; WORDS];
+    }
+
+    /// `self ∪ other`.
+    #[inline]
+    pub fn union(&self, other: &Self) -> Self {
+        let mut out = *self;
+        for (a, b) in out.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+        out
+    }
+
+    /// `self ∩ other`.
+    #[inline]
+    pub fn intersection(&self, other: &Self) -> Self {
+        let mut out = *self;
+        for (a, b) in out.words.iter_mut().zip(other.words.iter()) {
+            *a &= b;
+        }
+        out
+    }
+
+    /// `self \ other`.
+    #[inline]
+    pub fn difference(&self, other: &Self) -> Self {
+        let mut out = *self;
+        for (a, b) in out.words.iter_mut().zip(other.words.iter()) {
+            *a &= !b;
+        }
+        out
+    }
+
+    /// In-place union.
+    #[inline]
+    pub fn union_with(&mut self, other: &Self) {
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// In-place difference.
+    #[inline]
+    pub fn difference_with(&mut self, other: &Self) {
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !b;
+        }
+    }
+
+    /// True if every element of `self` is in `other` (`self ⊆ other`).
+    #[inline]
+    pub fn is_subset(&self, other: &Self) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// True if the sets share no element.
+    #[inline]
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// Smallest element, if any.
+    #[inline]
+    pub fn first(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterate over elements in increasing order.
+    #[inline]
+    pub fn iter(&self) -> SetIter {
+        SetIter {
+            words: self.words,
+            word_idx: 0,
+        }
+    }
+
+    /// Collect into a `Vec<usize>` (convenience for tests and display).
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+impl FromIterator<usize> for BitSet256 {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet256 {
+    type Item = usize;
+    type IntoIter = SetIter;
+    fn into_iter(self) -> SetIter {
+        self.iter()
+    }
+}
+
+impl fmt::Debug for BitSet256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over the elements of a [`BitSet256`] in increasing order.
+///
+/// Consumes a copy of the words, clearing bits as they are yielded; this is
+/// branch-light and needs no lifetime on the hot path.
+pub struct SetIter {
+    words: [u64; WORDS],
+    word_idx: usize,
+}
+
+impl Iterator for SetIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.word_idx < WORDS {
+            let w = self.words[self.word_idx];
+            if w != 0 {
+                let b = w.trailing_zeros() as usize;
+                self.words[self.word_idx] = w & (w - 1); // clear lowest set bit
+                return Some(self.word_idx * 64 + b);
+            }
+            self.word_idx += 1;
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n: usize = self.words[self.word_idx..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for SetIter {}
+
+/// A set of resources (`ResourceId`s).  The paper's `D`, `TOwned`,
+/// `TRequired`, `CntNeeded`, `TLent` and `missingRes` are all `ResourceSet`s.
+pub type ResourceSet = BitSet256;
+
+/// A set of nodes (`NodeId`s).  Used for the visited-node sets carried by
+/// forwarded request messages (paper §4.2.1).
+pub type NodeSet = BitSet256;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet256::new();
+        assert!(s.is_empty());
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert!(!s.contains(6));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn word_boundaries() {
+        let mut s = BitSet256::new();
+        for i in [0usize, 63, 64, 127, 128, 191, 192, 255] {
+            assert!(s.insert(i));
+            assert!(s.contains(i));
+        }
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.to_vec(), vec![0, 63, 64, 127, 128, 191, 192, 255]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn insert_out_of_range_panics() {
+        BitSet256::new().insert(256);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        assert!(!BitSet256::full(256).contains(1000));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: BitSet256 = [1, 2, 3].into_iter().collect();
+        let b: BitSet256 = [3, 4].into_iter().collect();
+        assert_eq!(a.union(&b).to_vec(), vec![1, 2, 3, 4]);
+        assert_eq!(a.intersection(&b).to_vec(), vec![3]);
+        assert_eq!(a.difference(&b).to_vec(), vec![1, 2]);
+        assert!(!a.is_disjoint(&b));
+        assert!(a.difference(&b).is_disjoint(&b));
+        assert!(a.intersection(&b).is_subset(&a));
+        assert!(a.intersection(&b).is_subset(&b));
+        assert!(BitSet256::EMPTY.is_subset(&a));
+    }
+
+    #[test]
+    fn full_and_first() {
+        let s = BitSet256::full(80);
+        assert_eq!(s.len(), 80);
+        assert_eq!(s.first(), Some(0));
+        assert_eq!(BitSet256::EMPTY.first(), None);
+        assert_eq!(BitSet256::singleton(79).first(), Some(79));
+    }
+
+    #[test]
+    fn iterator_matches_model() {
+        let elems = [0usize, 7, 64, 65, 130, 255];
+        let s: BitSet256 = elems.iter().copied().collect();
+        let collected: Vec<usize> = s.iter().collect();
+        assert_eq!(collected, elems);
+        assert_eq!(s.iter().len(), elems.len());
+    }
+
+    #[test]
+    fn in_place_ops_match_pure_ops() {
+        let a: BitSet256 = [1, 5, 9].into_iter().collect();
+        let b: BitSet256 = [5, 6].into_iter().collect();
+        let mut u = a;
+        u.union_with(&b);
+        assert_eq!(u, a.union(&b));
+        let mut d = a;
+        d.difference_with(&b);
+        assert_eq!(d, a.difference(&b));
+    }
+
+    #[test]
+    fn model_based_random_ops() {
+        // Deterministic pseudo-random sequence; compares against HashSet.
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut s = BitSet256::new();
+        let mut model: HashSet<usize> = HashSet::new();
+        for _ in 0..4000 {
+            let v = (next() % 256) as usize;
+            match next() % 3 {
+                0 => {
+                    assert_eq!(s.insert(v), model.insert(v));
+                }
+                1 => {
+                    assert_eq!(s.remove(v), model.remove(&v));
+                }
+                _ => {
+                    assert_eq!(s.contains(v), model.contains(&v));
+                }
+            }
+            assert_eq!(s.len(), model.len());
+        }
+        let mut got = s.to_vec();
+        let mut want: Vec<usize> = model.into_iter().collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,38 @@
+//! Core value types shared by every crate in the `mra` workspace.
+//!
+//! This crate is dependency-free on purpose: protocol crates, the simulator
+//! and the workload harness all build on these primitives, so keeping them
+//! small and `Copy` keeps the hot paths allocation-free.
+//!
+//! * [`Time`] — a nanosecond-resolution instant/duration used as virtual time
+//!   by the discrete-event simulator and as real time by the threaded
+//!   runtime.
+//! * [`BitSet256`] — a fixed-capacity (256 element) bitset that is `Copy`
+//!   (4 machine words).  [`ResourceSet`] and [`NodeSet`] are typed wrappers.
+//! * [`NodeId`] / [`ResourceId`] / [`RequestId`] — plain index aliases.
+
+pub mod bitset;
+pub mod time;
+
+pub use bitset::{BitSet256, NodeSet, ResourceSet, SetIter};
+pub use time::Time;
+
+/// Identifier of a node (process/site).  Nodes are numbered `0..N`.
+///
+/// The paper orders sites totally by their identifier (`s_i ≺ s_j ⇔ i < j`);
+/// the natural `usize` order is that order.
+pub type NodeId = usize;
+
+/// Identifier of a resource.  Resources are numbered `0..M`.
+pub type ResourceId = usize;
+
+/// Per-site critical-section request identifier (the paper's `id`).
+///
+/// Each site increments its own counter at every new request, so the pair
+/// `(NodeId, RequestId)` uniquely identifies a critical-section request.
+pub type RequestId = u64;
+
+/// Maximum number of nodes and resources supported by the fixed-capacity
+/// bitsets.  The paper evaluates N = 32 processes and M = 80 resources;
+/// 256 leaves ample headroom while keeping [`BitSet256`] `Copy`.
+pub const MAX_UNIVERSE: usize = 256;

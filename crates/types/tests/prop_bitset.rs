@@ -1,0 +1,84 @@
+//! Property-based tests: `BitSet256` behaves exactly like a `HashSet<usize>`
+//! restricted to `0..256`, and the set-algebra identities hold.
+
+use mra_types::BitSet256;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn small_elems() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..256, 0..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn from_iter_matches_hashset(elems in small_elems()) {
+        let s: BitSet256 = elems.iter().copied().collect();
+        let model: HashSet<usize> = elems.iter().copied().collect();
+        prop_assert_eq!(s.len(), model.len());
+        for e in 0..256 {
+            prop_assert_eq!(s.contains(e), model.contains(&e));
+        }
+        let mut sorted: Vec<usize> = model.into_iter().collect();
+        sorted.sort_unstable();
+        prop_assert_eq!(s.to_vec(), sorted);
+    }
+
+    #[test]
+    fn union_intersection_difference_laws(a in small_elems(), b in small_elems()) {
+        let sa: BitSet256 = a.iter().copied().collect();
+        let sb: BitSet256 = b.iter().copied().collect();
+        let ha: HashSet<usize> = a.into_iter().collect();
+        let hb: HashSet<usize> = b.into_iter().collect();
+
+        let mut u: Vec<usize> = ha.union(&hb).copied().collect();
+        u.sort_unstable();
+        prop_assert_eq!(sa.union(&sb).to_vec(), u);
+
+        let mut i: Vec<usize> = ha.intersection(&hb).copied().collect();
+        i.sort_unstable();
+        prop_assert_eq!(sa.intersection(&sb).to_vec(), i);
+
+        let mut d: Vec<usize> = ha.difference(&hb).copied().collect();
+        d.sort_unstable();
+        prop_assert_eq!(sa.difference(&sb).to_vec(), d);
+
+        // De Morgan-ish sanity: (a ∪ b) \ b ⊆ a, and a ∩ b ⊆ a ⊆ a ∪ b.
+        prop_assert!(sa.union(&sb).difference(&sb).is_subset(&sa));
+        prop_assert!(sa.intersection(&sb).is_subset(&sa));
+        prop_assert!(sa.is_subset(&sa.union(&sb)));
+        prop_assert_eq!(sa.is_disjoint(&sb), sa.intersection(&sb).is_empty());
+    }
+
+    #[test]
+    fn subset_is_reflexive_and_antisymmetric(a in small_elems(), b in small_elems()) {
+        let sa: BitSet256 = a.iter().copied().collect();
+        let sb: BitSet256 = b.iter().copied().collect();
+        prop_assert!(sa.is_subset(&sa));
+        if sa.is_subset(&sb) && sb.is_subset(&sa) {
+            prop_assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    fn insert_remove_roundtrip(elems in small_elems(), v in 0usize..256) {
+        let mut s: BitSet256 = elems.iter().copied().collect();
+        let before = s.contains(v);
+        s.insert(v);
+        prop_assert!(s.contains(v));
+        s.remove(v);
+        prop_assert!(!s.contains(v));
+        if before {
+            s.insert(v);
+        }
+        let back: BitSet256 = elems.iter().copied().collect();
+        prop_assert_eq!(s, back);
+    }
+
+    #[test]
+    fn first_is_minimum(elems in small_elems()) {
+        let s: BitSet256 = elems.iter().copied().collect();
+        prop_assert_eq!(s.first(), elems.iter().copied().min());
+    }
+}

@@ -1,0 +1,182 @@
+//! One-call experiment runners: build the protocol fleet for an algorithm,
+//! wire it to the paper workload and the simulator, run, return metrics.
+
+use crate::scenario::Scenario;
+use crate::workload::PaperWorkload;
+use mra_baselines::{BouabdallahLaforest, Central, GrantPolicy, Incremental, Maddi};
+use mra_core::LassConfig;
+use mra_sim::{RunResult, Sim};
+
+/// The algorithms of the evaluation (paper §5) plus the extensions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Algorithm {
+    /// M Naimi-Trehel locks, ascending acquisition (§2.1).
+    Incremental,
+    /// Bouabdallah–Laforest control token (§2.2).
+    BouabdallahLaforest,
+    /// The paper's algorithm, loan disabled ("Without loan").
+    LassNoLoan,
+    /// The paper's algorithm with the loan mechanism ("With loan",
+    /// threshold from the scenario; paper uses 1).
+    LassLoan,
+    /// Global queue, zero network cost ("in shared memory").
+    Central,
+    /// First-fit variant of the central scheduler (extension).
+    CentralGreedy,
+    /// Broadcast baseline (extension; Maddi / multi-Suzuki-Kasami).
+    Maddi,
+}
+
+impl Algorithm {
+    /// Label used in tables (matches the paper's legends).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::Incremental => "Incremental",
+            Algorithm::BouabdallahLaforest => "Bouabdallah Laforest",
+            Algorithm::LassNoLoan => "Without loan",
+            Algorithm::LassLoan => "With loan",
+            Algorithm::Central => "in shared memory",
+            Algorithm::CentralGreedy => "in shared memory (greedy)",
+            Algorithm::Maddi => "Maddi (broadcast)",
+        }
+    }
+
+    /// The five curves of Fig. 5, in the paper's legend order.
+    pub fn fig5_set() -> [Algorithm; 5] {
+        [
+            Algorithm::Incremental,
+            Algorithm::BouabdallahLaforest,
+            Algorithm::LassNoLoan,
+            Algorithm::LassLoan,
+            Algorithm::Central,
+        ]
+    }
+
+    /// The three bars of Fig. 6 / Fig. 7.
+    pub fn fig6_set() -> [Algorithm; 3] {
+        [
+            Algorithm::BouabdallahLaforest,
+            Algorithm::LassNoLoan,
+            Algorithm::LassLoan,
+        ]
+    }
+}
+
+/// Run one scenario under one algorithm.
+///
+/// Distributed algorithms use the scenario's LAN latency γ; the central
+/// scheduler runs with zero latency and a passive coordinator node,
+/// matching the paper's "no network communication" framing.
+pub fn run(algo: Algorithm, sc: &Scenario) -> RunResult {
+    match algo {
+        Algorithm::Incremental => {
+            let nodes = Incremental::build_nodes(sc.n, sc.m);
+            Sim::new(nodes, PaperWorkload::per_node(sc, sc.n), sc.m, sc.sim_config()).run()
+        }
+        Algorithm::BouabdallahLaforest => {
+            let nodes = BouabdallahLaforest::build_nodes(sc.n, sc.m);
+            Sim::new(nodes, PaperWorkload::per_node(sc, sc.n), sc.m, sc.sim_config()).run()
+        }
+        Algorithm::LassNoLoan => {
+            let mut cfg = LassConfig::without_loan(sc.n, sc.m);
+            cfg.policy = sc.policy;
+            Sim::new(
+                cfg.build_nodes(),
+                PaperWorkload::per_node(sc, sc.n),
+                sc.m,
+                sc.sim_config(),
+            )
+            .run()
+        }
+        Algorithm::LassLoan => {
+            let mut cfg = LassConfig::with_loan(sc.n, sc.m);
+            cfg.policy = sc.policy;
+            cfg.loan = Some(sc.loan_threshold);
+            Sim::new(
+                cfg.build_nodes(),
+                PaperWorkload::per_node(sc, sc.n),
+                sc.m,
+                sc.sim_config(),
+            )
+            .run()
+        }
+        Algorithm::Central | Algorithm::CentralGreedy => {
+            let policy = if algo == Algorithm::Central {
+                GrantPolicy::Conservative
+            } else {
+                GrantPolicy::Greedy
+            };
+            let nodes = Central::build_nodes(sc.n, policy);
+            let mut cfg = sc.sim_config_zero_latency();
+            cfg.active_nodes = Some(sc.n);
+            // One extra (passive) workload slot for the coordinator.
+            Sim::new(nodes, PaperWorkload::per_node(sc, sc.n + 1), sc.m, cfg).run()
+        }
+        Algorithm::Maddi => {
+            let nodes = Maddi::build_nodes(sc.n, sc.m);
+            Sim::new(nodes, PaperWorkload::per_node(sc, sc.n), sc.m, sc.sim_config()).run()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Load;
+
+    fn small(phi: usize, load: Load, seed: u64) -> Scenario {
+        Scenario::builder()
+            .nodes(6)
+            .resources(12)
+            .max_request_size(phi)
+            .load(load)
+            .seed(seed)
+            .measure_secs(1.0)
+            .build()
+    }
+
+    #[test]
+    fn every_algorithm_runs_the_same_scenario() {
+        let sc = small(3, Load::Medium, 5);
+        for algo in [
+            Algorithm::Incremental,
+            Algorithm::BouabdallahLaforest,
+            Algorithm::LassNoLoan,
+            Algorithm::LassLoan,
+            Algorithm::Central,
+            Algorithm::CentralGreedy,
+            Algorithm::Maddi,
+        ] {
+            let res = run(algo, &sc);
+            assert!(
+                res.cs_completed > 0,
+                "{:?} completed no critical sections",
+                algo
+            );
+            let u = res.use_rate();
+            assert!((0.0..=1.0).contains(&u), "{algo:?} use rate {u}");
+        }
+    }
+
+    #[test]
+    fn central_beats_or_matches_distributed_on_use_rate() {
+        // The shared-memory scheduler has no synchronization cost: with the
+        // same seed it should serve at least as well as BL at high load.
+        let sc = small(4, Load::High, 11);
+        let central = run(Algorithm::Central, &sc).use_rate();
+        let bl = run(Algorithm::BouabdallahLaforest, &sc).use_rate();
+        assert!(
+            central > 0.8 * bl,
+            "central {central:.3} unexpectedly far below BL {bl:.3}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_algorithm() {
+        let sc = small(3, Load::High, 21);
+        let a = run(Algorithm::LassLoan, &sc);
+        let b = run(Algorithm::LassLoan, &sc);
+        assert_eq!(a.cs_completed, b.cs_completed);
+        assert_eq!(a.msgs_total, b.msgs_total);
+    }
+}

@@ -1,0 +1,177 @@
+//! The paper's request generator (§5.1) as a [`Workload`] implementation.
+
+use crate::scenario::Scenario;
+use mra_sim::Workload;
+use mra_types::{ResourceSet, Time};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Per-node workload with the paper's parameters.
+///
+/// * think time β: exponential with mean `ρ·(ᾱ+γ)`;
+/// * request size `x`: uniform on `1..=φ`;
+/// * resource set: `x` distinct resources, uniform over `M`;
+/// * CS time α(x): linear from α_min (x = 1) to α_max (x = φ), with ±10 %
+///   multiplicative jitter — the paper states only that α ∈ [5, 35] ms and
+///   grows stochastically with `x`; the linear law preserves both while
+///   keeping ᾱ = (α_min+α_max)/2 independent of φ (so ρ keeps its meaning
+///   across the φ sweep of Fig. 5).
+#[derive(Clone, Debug)]
+pub struct PaperWorkload {
+    m: usize,
+    phi: usize,
+    alpha_min: Time,
+    alpha_max: Time,
+    beta: Time,
+    /// Cumulative popularity weights (empty = uniform).
+    cum_weights: Vec<f64>,
+}
+
+impl PaperWorkload {
+    /// Build from a scenario.
+    pub fn new(sc: &Scenario) -> Self {
+        let cum_weights = if sc.skew > 0.0 {
+            let mut acc = 0.0;
+            (0..sc.m)
+                .map(|r| {
+                    acc += 1.0 / ((r + 1) as f64).powf(sc.skew);
+                    acc
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        PaperWorkload {
+            m: sc.m,
+            phi: sc.phi,
+            alpha_min: Time::from_millis_f64(sc.alpha_min_ms),
+            alpha_max: Time::from_millis_f64(sc.alpha_max_ms),
+            beta: sc.beta(),
+            cum_weights,
+        }
+    }
+
+    /// Draw one resource id according to the popularity weights.
+    fn draw_resource(&self, rng: &mut StdRng) -> usize {
+        if self.cum_weights.is_empty() {
+            return rng.gen_range(0..self.m);
+        }
+        let total = *self.cum_weights.last().expect("non-empty");
+        let u: f64 = rng.gen_range(0.0..total);
+        self.cum_weights.partition_point(|&c| c <= u).min(self.m - 1)
+    }
+
+    /// One workload instance per node.
+    pub fn per_node(sc: &Scenario, n: usize) -> Vec<PaperWorkload> {
+        (0..n).map(|_| PaperWorkload::new(sc)).collect()
+    }
+
+    /// α(x): linear interpolation over the size range, before jitter.
+    fn alpha_base(&self, x: usize) -> Time {
+        if self.phi <= 1 {
+            return self.alpha_min;
+        }
+        let f = (x - 1) as f64 / (self.phi - 1) as f64;
+        let lo = self.alpha_min.as_secs_f64();
+        let hi = self.alpha_max.as_secs_f64();
+        Time::from_secs_f64(lo + (hi - lo) * f)
+    }
+}
+
+impl Workload for PaperWorkload {
+    fn think_time(&mut self, rng: &mut StdRng) -> Time {
+        // Exponential(mean β) via inverse CDF; clamp u away from 1.
+        let u: f64 = rng.gen_range(0.0..1.0f64);
+        let t = -self.beta.as_secs_f64() * (1.0 - u).max(1e-12).ln();
+        Time::from_secs_f64(t)
+    }
+
+    fn next_request(&mut self, rng: &mut StdRng) -> (ResourceSet, Time) {
+        let x = rng.gen_range(1..=self.phi);
+        let mut set = ResourceSet::new();
+        while set.len() < x {
+            set.insert(self.draw_resource(rng));
+        }
+        let jitter = rng.gen_range(0.9..=1.1f64);
+        (set, self.alpha_base(x).mul_f64(jitter))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Load, Scenario};
+    use rand::SeedableRng;
+
+    fn wl(phi: usize) -> PaperWorkload {
+        PaperWorkload::new(&Scenario::paper(Load::Medium, phi, 1))
+    }
+
+    #[test]
+    fn request_sizes_uniform_in_range() {
+        let mut w = wl(8);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = vec![0usize; 9];
+        for _ in 0..8000 {
+            let (set, _) = w.next_request(&mut rng);
+            assert!(set.len() >= 1 && set.len() <= 8);
+            counts[set.len()] += 1;
+        }
+        // Roughly uniform: every size appears a healthy number of times.
+        for c in &counts[1..=8] {
+            assert!(*c > 700, "size distribution skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn alpha_scales_with_size() {
+        let mut w = wl(80);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut small = Vec::new();
+        let mut large = Vec::new();
+        for _ in 0..4000 {
+            let (set, cs) = w.next_request(&mut rng);
+            if set.len() <= 8 {
+                small.push(cs.as_millis_f64());
+            } else if set.len() >= 72 {
+                large.push(cs.as_millis_f64());
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(avg(&large) > 3.0 * avg(&small));
+        // Bounds with jitter: [0.9·5, 1.1·35] ms.
+        for &ms in small.iter().chain(large.iter()) {
+            assert!(ms >= 4.4 && ms <= 38.6, "α out of range: {ms}");
+        }
+    }
+
+    #[test]
+    fn think_time_mean_matches_beta() {
+        let sc = Scenario::paper(Load::High, 4, 1);
+        let mut w = PaperWorkload::new(&sc);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| w.think_time(&mut rng).as_secs_f64())
+            .sum();
+        let mean = total / n as f64;
+        let beta = sc.beta().as_secs_f64();
+        assert!(
+            (mean - beta).abs() < 0.05 * beta,
+            "mean think {mean} vs β {beta}"
+        );
+    }
+
+    #[test]
+    fn single_resource_phi() {
+        let mut w = wl(1);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..100 {
+            let (set, cs) = w.next_request(&mut rng);
+            assert_eq!(set.len(), 1);
+            // α(1) = α_min ± 10 %
+            let ms = cs.as_millis_f64();
+            assert!(ms >= 4.4 && ms <= 5.6);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! The paper's future-work scenario (§6): multi-resource allocation on a
+//! *hierarchical* physical topology such as a cloud — two sites with cheap
+//! intra-site and expensive inter-site links.
+//!
+//! Story: 16 schedulers per site co-allocate bundles of shared appliances
+//! (GPUs, licenses, scratch volumes…).  A global-lock algorithm drags every
+//! allocation through inter-site round trips; the counter-based algorithm
+//! only talks across sites when requests actually conflict.
+//!
+//! ```text
+//! cargo run --release --example cloud_allocation
+//! ```
+
+use mra::baselines::BouabdallahLaforest;
+use mra::core::LassConfig;
+use mra::sim::{LatencyModel, Sim};
+use mra::types::Time;
+use mra::workloads::{PaperWorkload, Scenario};
+
+fn main() {
+    let sc = Scenario::builder()
+        .nodes(32)
+        .resources(80)
+        .max_request_size(4)
+        .rho(0.3)
+        .seed(99)
+        .measure_secs(5.0)
+        .build();
+
+    // Two 16-node sites; 0.1 ms within a site, 5 ms across.
+    let cloud = LatencyModel::two_clusters(
+        sc.n,
+        sc.n / 2,
+        Time::from_micros(100),
+        Time::from_millis(5),
+    );
+
+    println!(
+        "two-site cloud: {} nodes, {} resources, intra 0.1 ms / inter 5 ms\n",
+        sc.n, sc.m
+    );
+    println!(
+        "{:<22} {:>10} {:>12} {:>10}",
+        "algorithm", "use rate", "mean wait", "msgs/CS"
+    );
+
+    // Bouabdallah-Laforest: the control token crosses sites constantly.
+    let mut cfg = sc.sim_config();
+    cfg.latency = cloud.clone();
+    let bl = Sim::new(
+        BouabdallahLaforest::build_nodes(sc.n, sc.m),
+        PaperWorkload::per_node(&sc, sc.n),
+        sc.m,
+        cfg,
+    )
+    .run();
+    println!(
+        "{:<22} {:>9.1}% {:>9.1} ms {:>10.1}",
+        "Bouabdallah-Laforest",
+        100.0 * bl.use_rate(),
+        bl.wait_stats().mean_ms,
+        bl.msgs_per_cs()
+    );
+
+    // LASS: communication only along conflict edges.
+    let mut cfg = sc.sim_config();
+    cfg.latency = cloud;
+    let lass_cfg = LassConfig::with_loan(sc.n, sc.m);
+    let lass = Sim::new(
+        lass_cfg.build_nodes(),
+        PaperWorkload::per_node(&sc, sc.n),
+        sc.m,
+        cfg,
+    )
+    .run();
+    println!(
+        "{:<22} {:>9.1}% {:>9.1} ms {:>10.1}",
+        "LASS (with loan)",
+        100.0 * lass.use_rate(),
+        lass.wait_stats().mean_ms,
+        lass.msgs_per_cs()
+    );
+
+    let speedup = bl.wait_stats().mean_ms / lass.wait_stats().mean_ms.max(1e-9);
+    println!(
+        "\nwaiting-time advantage of the counter mechanism on this topology: {speedup:.1}x \
+         (the paper's conclusion predicts the gap to widen on clouds — §6)"
+    );
+}

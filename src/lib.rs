@@ -1,0 +1,48 @@
+//! # mra — distributed multi-resource allocation
+//!
+//! A reproduction of *"Reducing synchronization cost in distributed
+//! multi-resource allocation problem"* (Lejeune, Arantes, Sopena, Sens —
+//! ICPP 2015 / INRIA RR-8689), packaged as a workspace of reusable crates.
+//!
+//! This facade crate re-exports the workspace so examples and downstream
+//! users can depend on a single crate:
+//!
+//! * [`core`] — the paper's algorithm (**LASS**): per-resource counters, a
+//!   pluggable total order over requests, prioritized token trees and the
+//!   loan mechanism.
+//! * [`baselines`] — incremental locking, Bouabdallah–Laforest, the
+//!   shared-memory ("central") scheduler and the Maddi broadcast algorithm.
+//! * [`mutex`] — Naimi-Trehel and Suzuki-Kasami single-resource substrates.
+//! * [`protocol`] — the engine-independent `Allocator` interface and a
+//!   randomized virtual network for testing.
+//! * [`sim`] — the deterministic discrete-event simulator, workload driver,
+//!   metrics, Gantt tracing and the threaded runtime.
+//! * [`workloads`] — the paper's workload model and experiment harness.
+//! * [`types`] — time, ids and bitsets.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mra::workloads::{Algorithm, Scenario};
+//!
+//! // A small version of the paper's experiment: nodes request random
+//! // resource subsets, hold them for a critical section, release.
+//! let scenario = Scenario::builder()
+//!     .nodes(8)
+//!     .resources(20)
+//!     .max_request_size(4)
+//!     .measure_secs(2.0)
+//!     .seed(42)
+//!     .build();
+//! let result = mra::workloads::run(Algorithm::LassLoan, &scenario);
+//! assert!(result.cs_completed > 0);
+//! println!("use rate = {:.1}%", 100.0 * result.use_rate());
+//! ```
+
+pub use mra_baselines as baselines;
+pub use mra_core as core;
+pub use mra_mutex as mutex;
+pub use mra_protocol as protocol;
+pub use mra_sim as sim;
+pub use mra_types as types;
+pub use mra_workloads as workloads;

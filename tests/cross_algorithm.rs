@@ -1,0 +1,174 @@
+//! Cross-algorithm integration tests: every algorithm runs the same
+//! simulated scenario; the qualitative relations of the paper's evaluation
+//! must hold (with fixed seeds and generous margins — these are simulation
+//! facts, not statistical flakes).
+
+use mra::workloads::{run, Algorithm, Load, Scenario};
+
+fn scenario(load: Load, phi: usize, seed: u64) -> Scenario {
+    // Paper shape at reduced duration: 32 nodes, 80 resources.
+    Scenario::builder()
+        .load(load)
+        .max_request_size(phi)
+        .seed(seed)
+        .measure_secs(3.0)
+        .build()
+}
+
+#[test]
+fn all_algorithms_complete_work_at_paper_scale() {
+    let sc = scenario(Load::Medium, 4, 5);
+    for algo in [
+        Algorithm::Incremental,
+        Algorithm::BouabdallahLaforest,
+        Algorithm::LassNoLoan,
+        Algorithm::LassLoan,
+        Algorithm::Central,
+        Algorithm::Maddi,
+    ] {
+        let res = run(algo, &sc);
+        assert!(
+            res.cs_completed > 100,
+            "{}: only {} CS completed",
+            algo.label(),
+            res.cs_completed
+        );
+    }
+}
+
+#[test]
+fn lass_beats_bouabdallah_laforest_on_waits_at_small_phi() {
+    // §5.3: at φ = 4 the paper's algorithm waits far less than BL.
+    for load in [Load::Medium, Load::High] {
+        let sc = scenario(load, 4, 7);
+        let bl = run(Algorithm::BouabdallahLaforest, &sc).wait_stats().mean_ms;
+        let lass = run(Algorithm::LassLoan, &sc).wait_stats().mean_ms;
+        assert!(
+            lass < bl,
+            "{} load: LASS wait {lass:.1}ms not below BL {bl:.1}ms",
+            load.label()
+        );
+    }
+}
+
+#[test]
+fn lass_use_rate_at_least_bouabdallah_laforest() {
+    // §5.2: "independently of the request size, [LASS presents] a higher
+    // resource use rate" — allow 5% simulation noise.
+    for phi in [4usize, 8, 16] {
+        let sc = scenario(Load::High, phi, 11);
+        let bl = run(Algorithm::BouabdallahLaforest, &sc).use_rate();
+        let lass = run(Algorithm::LassLoan, &sc).use_rate();
+        assert!(
+            lass > 0.95 * bl,
+            "phi={phi}: LASS {:.3} well below BL {:.3}",
+            lass,
+            bl
+        );
+    }
+}
+
+#[test]
+fn incremental_suffers_domino_effect_at_large_phi() {
+    // Fig. 5: the incremental curve flattens while everyone else climbs.
+    let sc = scenario(Load::High, 80, 13);
+    let inc = run(Algorithm::Incremental, &sc).use_rate();
+    let lass = run(Algorithm::LassLoan, &sc).use_rate();
+    let bl = run(Algorithm::BouabdallahLaforest, &sc).use_rate();
+    assert!(
+        lass > 2.0 * inc,
+        "LASS {lass:.3} should dwarf incremental {inc:.3} at phi=80"
+    );
+    assert!(
+        bl > 2.0 * inc,
+        "even BL {bl:.3} should dwarf incremental {inc:.3} at phi=80"
+    );
+}
+
+#[test]
+fn loan_improves_mid_size_high_load() {
+    // §5.2: loan improves the use rate for medium request sizes under high
+    // load (paper: up to +15%); it must at least not hurt.
+    let sc = scenario(Load::High, 4, 17);
+    let without = run(Algorithm::LassNoLoan, &sc);
+    let with = run(Algorithm::LassLoan, &sc);
+    assert!(
+        with.use_rate() > 1.02 * without.use_rate(),
+        "loan: {:.3} vs {:.3} (expected a visible gain)",
+        with.use_rate(),
+        without.use_rate()
+    );
+    assert!(
+        with.wait_stats().mean_ms < without.wait_stats().mean_ms,
+        "loan should reduce waiting time at high load"
+    );
+}
+
+#[test]
+fn shared_memory_scheduler_tops_or_ties_everyone_at_large_phi() {
+    // The zero-cost scheduler upper-bounds the distributed algorithms when
+    // conflicts dominate.
+    let sc = scenario(Load::High, 80, 19);
+    let shm = run(Algorithm::Central, &sc).use_rate();
+    for algo in [Algorithm::BouabdallahLaforest, Algorithm::LassLoan] {
+        let r = run(algo, &sc).use_rate();
+        assert!(
+            shm > 0.97 * r,
+            "{}: {r:.3} above shared-memory {shm:.3}",
+            algo.label()
+        );
+    }
+}
+
+#[test]
+fn bl_waits_flat_across_sizes_lass_varies_more() {
+    // Fig. 7: BL's waiting time barely varies with the request size.
+    let sc = scenario(Load::High, 80, 23);
+    let bl = run(Algorithm::BouabdallahLaforest, &sc);
+    let buckets = bl.wait_buckets(80, 6);
+    let means: Vec<f64> = buckets
+        .iter()
+        .filter(|(_, _, w)| w.count >= 5)
+        .map(|(_, _, w)| w.mean_ms)
+        .collect();
+    assert!(means.len() >= 4, "need enough populated buckets");
+    let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = means.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        hi / lo < 1.5,
+        "BL wait should be flat across sizes: {lo:.0}..{hi:.0} ms"
+    );
+}
+
+#[test]
+fn maddi_pays_broadcast_message_complexity() {
+    // Related-work claim: broadcast algorithms are "not scalable in terms
+    // of message complexity" — Maddi must send far more messages per CS
+    // than LASS at small φ.
+    let sc = scenario(Load::Medium, 4, 29);
+    let maddi = run(Algorithm::Maddi, &sc);
+    let lass = run(Algorithm::LassLoan, &sc);
+    assert!(
+        maddi.msgs_per_cs() > 1.5 * lass.msgs_per_cs(),
+        "Maddi {:.1} msgs/cs vs LASS {:.1}",
+        maddi.msgs_per_cs(),
+        lass.msgs_per_cs()
+    );
+}
+
+#[test]
+fn censoring_stays_marginal_in_reported_windows() {
+    // The metrics must not silently hide unserved requests.
+    for algo in [Algorithm::BouabdallahLaforest, Algorithm::LassLoan] {
+        let sc = scenario(Load::High, 16, 31);
+        let res = run(algo, &sc);
+        let total = res.records.len() as u64 + res.censored;
+        assert!(
+            res.censored * 20 <= total,
+            "{}: {} of {} requests censored",
+            algo.label(),
+            res.censored,
+            total
+        );
+    }
+}
