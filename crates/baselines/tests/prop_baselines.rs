@@ -93,7 +93,7 @@ proptest! {
         let mut busy: Vec<Option<ResourceSet>> = vec![None; 6];
         let mut queued = [false; 6];
         let mut in_use = ResourceSet::new();
-        let mut apply_grants = |grants: Vec<usize>,
+        let apply_grants = |grants: Vec<usize>,
                                 busy: &mut Vec<Option<ResourceSet>>,
                                 queued: &mut [bool; 6],
                                 in_use: &mut ResourceSet,

@@ -25,7 +25,8 @@ fn print_ablations() {
         "Optimization ablation (phi = 4, high load)",
         &["variant", "msgs/cs", "use rate [%]", "mean wait [ms]"],
     );
-    let variants: [(&str, fn(&mut LassConfig)); 4] = [
+    type Tweak = fn(&mut LassConfig);
+    let variants: [(&str, Tweak); 4] = [
         ("all on", |_| {}),
         ("no single-resource opt", |c| c.opt_single_resource = false),
         ("no stop-forwarding", |c| c.opt_stop_forwarding = false),

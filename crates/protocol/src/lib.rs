@@ -12,7 +12,7 @@
 //! 2. `mra-sim`'s discrete-event simulator — adds virtual time, link
 //!    latencies and the paper's workload model (the substrate used for all
 //!    figure reproductions);
-//! 3. `mra-sim`'s threaded runtime — real OS threads and crossbeam channels.
+//! 3. `mra-sim`'s threaded runtime — real OS threads and `std::sync::mpsc` channels.
 
 pub mod testkit;
 

@@ -501,10 +501,10 @@ pub fn run_random_workload<A: Allocator>(
                 candidates.push(Act::Deliver);
             }
         }
-        for i in 0..n_active {
+        for (i, &q) in quota.iter().enumerate().take(n_active) {
             if net.in_cs(i) {
                 candidates.push(Act::Hold(i));
-            } else if quota[i] > 0 && net.state(i) == ProcState::Idle {
+            } else if q > 0 && net.state(i) == ProcState::Idle {
                 candidates.push(Act::Issue(i));
             }
         }

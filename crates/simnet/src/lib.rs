@@ -22,7 +22,7 @@
 //! * [`stats`] — small numerically careful helpers (mean/std/percentiles);
 //! * [`trace`] — ASCII Gantt rendering of runs (the paper's Fig. 1 / 4);
 //! * [`threaded`] — a real-concurrency runtime (one OS thread per node,
-//!   crossbeam channels) running the very same protocol code, used to
+//!   std::sync::mpsc channels) running the very same protocol code, used to
 //!   validate the protocols outside the simulator.
 
 pub mod driver;

@@ -1,5 +1,5 @@
-//! Real-concurrency runtime: one OS thread per node, crossbeam channels as
-//! links.
+//! Real-concurrency runtime: one OS thread per node, `std::sync::mpsc`
+//! channels as links.
 //!
 //! The discrete-event simulator explores timing; this runtime validates
 //! that the very same protocol state machines behave correctly under *real*
@@ -19,7 +19,8 @@ use crate::metrics::{Collector, RunResult};
 use mra_protocol::testkit::SafetyMonitor;
 use mra_protocol::{Allocator, Ctx, WireMsg};
 use mra_types::{NodeId, Time};
-use parking_lot::Mutex;
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -49,13 +50,20 @@ enum Envelope<M> {
 }
 
 struct Shared<M> {
-    senders: Vec<crossbeam::channel::Sender<Envelope<M>>>,
+    senders: Vec<mpsc::Sender<Envelope<M>>>,
     monitor: Mutex<SafetyMonitor>,
     collector: Mutex<Collector>,
     /// Active nodes still short of their quota.
     remaining: AtomicUsize,
     epoch: Instant,
     latency: Time,
+}
+
+/// Lock preserving the old parking_lot semantics: a poisoned mutex (some
+/// node thread already panicked) still yields its data, so the original
+/// panic reaches the joiner instead of a PoisonError cascade.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 impl<M> Shared<M> {
@@ -87,7 +95,7 @@ where
     let mut senders = Vec::with_capacity(n);
     let mut receivers = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = crossbeam::channel::unbounded::<Envelope<A::Msg>>();
+        let (tx, rx) = mpsc::channel::<Envelope<A::Msg>>();
         senders.push(tx);
         receivers.push(rx);
     }
@@ -127,7 +135,11 @@ where
     let end = shared.now();
     let shared = Arc::try_unwrap(shared)
         .unwrap_or_else(|_| panic!("thread leaked a Shared reference"));
-    shared.collector.into_inner().finish(&algo, n, end)
+    shared
+        .collector
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .finish(&algo, n, end)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -136,7 +148,7 @@ fn node_main<A, W>(
     n: usize,
     mut proto: A,
     mut workload: W,
-    rx: crossbeam::channel::Receiver<Envelope<A::Msg>>,
+    rx: mpsc::Receiver<Envelope<A::Msg>>,
     shared: Arc<Shared<A::Msg>>,
     cfg: ThreadedConfig,
     is_active: bool,
@@ -163,11 +175,14 @@ fn node_main<A, W>(
 
     loop {
         let received = match deadline {
-            Some(d) => match rx.recv_deadline(d) {
-                Ok(env) => Some(env),
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
-            },
+            Some(d) => {
+                let wait = d.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(wait) {
+                    Ok(env) => Some(env),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            }
             None => match rx.recv() {
                 Ok(env) => Some(env),
                 Err(_) => return,
@@ -194,7 +209,7 @@ fn node_main<A, W>(
                 match driver.state() {
                     DriverState::Thinking => {
                         let set = driver.issue(&mut workload, &mut rng);
-                        shared.collector.lock().on_issue(me, set, shared.now());
+                        lock(&shared.collector).on_issue(me, set, shared.now());
                         deadline = None; // wait for the grant
                         ctx.set_now(shared.now());
                         proto.request(&mut ctx, set);
@@ -208,8 +223,8 @@ fn node_main<A, W>(
                         );
                     }
                     DriverState::InCs => {
-                        shared.collector.lock().on_release(me, shared.now());
-                        shared.monitor.lock().exit(me);
+                        lock(&shared.collector).on_release(me, shared.now());
+                        lock(&shared.monitor).exit(me);
                         driver.released();
                         ctx.set_now(shared.now());
                         proto.release(&mut ctx);
@@ -258,7 +273,7 @@ fn flush_and_grants<A: Allocator>(
     let out = ctx.take_outbox();
     if !out.is_empty() {
         let deliver_at = Instant::now() + shared.latency.to_std();
-        let mut collector = shared.collector.lock();
+        let mut collector = lock(&shared.collector);
         for (to, msg) in out {
             collector.on_message(msg.kind(), msg.weight());
             let _ = shared.senders[to].send(Envelope::Msg {
@@ -270,8 +285,8 @@ fn flush_and_grants<A: Allocator>(
     }
     if ctx.take_granted() {
         let set = driver.current_set();
-        shared.monitor.lock().enter(me, set);
-        shared.collector.lock().on_grant(me, shared.now());
+        lock(&shared.monitor).enter(me, set);
+        lock(&shared.collector).on_grant(me, shared.now());
         let cs = driver.granted();
         *deadline = Some(Instant::now() + cs.to_std());
     }

@@ -202,7 +202,7 @@ impl FromIterator<usize> for BitSet256 {
     }
 }
 
-impl<'a> IntoIterator for &'a BitSet256 {
+impl IntoIterator for &BitSet256 {
     type Item = usize;
     type IntoIter = SetIter;
     fn into_iter(self) -> SetIter {

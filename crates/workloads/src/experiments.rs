@@ -14,18 +14,39 @@ use crate::scenario::{Load, Scenario};
 use crate::table::Table;
 use mra_sim::WaitStats;
 
-/// Measurement window (seconds) honoring `MRA_MEASURE_SECS` / `MRA_FAST`.
+/// Measurement window (seconds) honoring `MRA_MEASURE_SECS` / `MRA_FAST`,
+/// for the figure sweeps (10 s full, 2 s fast).
 pub fn measure_secs_default() -> f64 {
-    if let Ok(s) = std::env::var("MRA_MEASURE_SECS") {
-        if let Ok(v) = s.parse::<f64>() {
-            return v.max(0.1);
+    env_measure_secs().unwrap_or_else(|| if mra_fast() { 2.0 } else { 10.0 })
+}
+
+/// Measurement window for callers with their own default: `MRA_MEASURE_SECS`
+/// wins outright, `MRA_FAST=1` quarters the default (floor 0.2 s), otherwise
+/// the default stands. Examples and smoke tests route through this so CI can
+/// shrink every simulation window with one environment variable.
+pub fn measure_secs_or(default: f64) -> f64 {
+    env_measure_secs().unwrap_or_else(|| {
+        if mra_fast() {
+            (default / 4.0).max(0.2)
+        } else {
+            default
         }
-    }
-    if std::env::var("MRA_FAST").is_ok() {
-        2.0
-    } else {
-        10.0
-    }
+    })
+}
+
+/// `MRA_FAST` is on when set to anything but `""`/`"0"` — the same rule the
+/// vendored proptest and criterion stand-ins apply, so one variable means
+/// one thing across the workspace.
+fn mra_fast() -> bool {
+    std::env::var("MRA_FAST").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// `MRA_MEASURE_SECS` if set and numeric, clamped to a 0.1 s floor.
+fn env_measure_secs() -> Option<f64> {
+    std::env::var("MRA_MEASURE_SECS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(|v| v.max(0.1))
 }
 
 /// The φ grid used for Fig. 5 (the paper sweeps 1..80; this grid samples

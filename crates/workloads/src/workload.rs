@@ -114,7 +114,7 @@ mod tests {
         let mut counts = vec![0usize; 9];
         for _ in 0..8000 {
             let (set, _) = w.next_request(&mut rng);
-            assert!(set.len() >= 1 && set.len() <= 8);
+            assert!((1..=8).contains(&set.len()));
             counts[set.len()] += 1;
         }
         // Roughly uniform: every size appears a healthy number of times.
@@ -141,7 +141,7 @@ mod tests {
         assert!(avg(&large) > 3.0 * avg(&small));
         // Bounds with jitter: [0.9·5, 1.1·35] ms.
         for &ms in small.iter().chain(large.iter()) {
-            assert!(ms >= 4.4 && ms <= 38.6, "α out of range: {ms}");
+            assert!((4.4..=38.6).contains(&ms), "α out of range: {ms}");
         }
     }
 
@@ -171,7 +171,7 @@ mod tests {
             assert_eq!(set.len(), 1);
             // α(1) = α_min ± 10 %
             let ms = cs.as_millis_f64();
-            assert!(ms >= 4.4 && ms <= 5.6);
+            assert!((4.4..=5.6).contains(&ms));
         }
     }
 }

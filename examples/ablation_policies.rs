@@ -11,6 +11,7 @@
 //! ```
 
 use mra::core::SchedulingPolicy;
+use mra::workloads::experiments::measure_secs_or;
 use mra::workloads::{run, Algorithm, Load, Scenario};
 
 fn main() {
@@ -25,7 +26,7 @@ fn main() {
             .max_request_size(8)
             .policy(policy)
             .seed(4)
-            .measure_secs(4.0)
+            .measure_secs(measure_secs_or(4.0))
             .build();
         let res = run(Algorithm::LassLoan, &sc);
         let w = res.wait_stats();
@@ -46,7 +47,7 @@ fn main() {
             .max_request_size(8)
             .loan_threshold(threshold.max(1))
             .seed(4)
-            .measure_secs(4.0)
+            .measure_secs(measure_secs_or(4.0))
             .build();
         let algo = if threshold == 0 {
             Algorithm::LassNoLoan

@@ -15,6 +15,7 @@ use mra::baselines::BouabdallahLaforest;
 use mra::core::LassConfig;
 use mra::sim::{LatencyModel, Sim};
 use mra::types::Time;
+use mra::workloads::experiments::measure_secs_or;
 use mra::workloads::{PaperWorkload, Scenario};
 
 fn main() {
@@ -24,7 +25,7 @@ fn main() {
         .max_request_size(4)
         .rho(0.3)
         .seed(99)
-        .measure_secs(5.0)
+        .measure_secs(measure_secs_or(5.0))
         .build();
 
     // Two 16-node sites; 0.1 ms within a site, 5 ms across.

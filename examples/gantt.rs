@@ -8,6 +8,7 @@
 //! ```
 
 use mra::sim::render_gantt;
+use mra::workloads::experiments::measure_secs_or;
 use mra::workloads::{run, Algorithm, Load, Scenario};
 
 fn main() {
@@ -19,7 +20,7 @@ fn main() {
         .max_request_size(3)
         .load(Load::High)
         .seed(7)
-        .measure_secs(0.4)
+        .measure_secs(measure_secs_or(0.4))
         .build();
 
     for algo in [

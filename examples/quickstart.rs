@@ -5,6 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use mra::workloads::experiments::measure_secs_or;
 use mra::workloads::{run, Algorithm, Scenario};
 
 fn main() {
@@ -13,7 +14,7 @@ fn main() {
         .nodes(8)
         .resources(20)
         .max_request_size(4)
-        .measure_secs(5.0)
+        .measure_secs(measure_secs_or(5.0))
         .seed(42)
         .build();
 

@@ -1,0 +1,54 @@
+//! Workspace-wiring smoke test: every example must build and run through the
+//! facade crate. Catches facade re-export regressions (e.g. a renamed
+//! member crate) that unit tests cannot see.
+//!
+//! Each example is executed via `cargo run --example` with `MRA_FAST=1` and
+//! a tiny measurement window so the whole sweep stays in the seconds range.
+
+use std::process::Command;
+
+/// Discovered from `examples/*.rs` so newly added examples are covered
+/// without touching this test.
+fn example_names() -> Vec<String> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("examples/ directory")
+        .filter_map(|e| {
+            let path = e.ok()?.path();
+            if path.extension()? == "rs" {
+                Some(path.file_stem()?.to_string_lossy().into_owned())
+            } else {
+                None
+            }
+        })
+        .collect();
+    names.sort();
+    assert!(names.len() >= 5, "examples went missing: {names:?}");
+    names
+}
+
+#[test]
+fn all_examples_run_to_completion() {
+    // `cargo test` exports $CARGO for its children; fall back to PATH lookup
+    // when the binary is launched by hand.
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    for name in example_names() {
+        let out = Command::new(&cargo)
+            .args(["run", "-q", "--example", &name])
+            .env("MRA_FAST", "1")
+            .env("MRA_MEASURE_SECS", "0.3")
+            .output()
+            .unwrap_or_else(|e| panic!("spawning cargo for example {name}: {e}"));
+        assert!(
+            out.status.success(),
+            "example {name} failed with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr),
+        );
+        assert!(
+            !out.stdout.is_empty(),
+            "example {name} printed nothing on stdout"
+        );
+    }
+}

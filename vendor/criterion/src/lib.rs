@@ -1,0 +1,137 @@
+//! Minimal stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, written because the build environment has no network
+//! access.
+//!
+//! Supports the surface this workspace's five bench targets use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::sample_size`], [`Bencher::iter`], [`criterion_group!`]
+//! and [`criterion_main!`]. Each benchmark is warmed up briefly and then
+//! timed for a fixed wall-clock budget; the mean ns/iter is printed.
+//!
+//! `MRA_FAST=1` shrinks the measurement budget so `cargo bench` completes in
+//! seconds, and `--test` mode (what `cargo test --benches` passes) runs each
+//! benchmark exactly once as a smoke test, matching real criterion.
+
+use std::time::{Duration, Instant};
+
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn measure_budget() -> Duration {
+    if std::env::var("MRA_FAST").is_ok_and(|v| !v.is_empty() && v != "0") {
+        Duration::from_millis(50)
+    } else {
+        Duration::from_millis(300)
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly until the measurement budget is spent (or exactly
+    /// once in `--test` mode), accumulating wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.budget.is_zero() {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.elapsed += start.elapsed();
+            self.iters_done += 1;
+            return;
+        }
+        // Warmup: one untimed iteration.
+        std::hint::black_box(f());
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.elapsed += start.elapsed();
+            self.iters_done += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(name: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        budget: if test_mode() { Duration::ZERO } else { measure_budget() },
+    };
+    f(&mut b);
+    if b.iters_done == 0 {
+        println!("{name:<40} (no iterations)");
+    } else {
+        let per_iter = b.elapsed.as_nanos() / b.iters_done as u128;
+        println!("{name:<40} {per_iter:>12} ns/iter ({} iters)", b.iters_done);
+    }
+}
+
+/// Entry point handed to each `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&name.to_string(), |b| f(b));
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.to_string() }
+    }
+}
+
+/// Named group of related benchmarks; `sample_size` is accepted and ignored.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a single group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
