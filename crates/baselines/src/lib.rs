@@ -22,13 +22,14 @@
 //!   requests; O(N) messages per request.
 //!
 //! All four implement [`mra_protocol::Allocator`] and run unchanged under
-//! the virtual test network, the discrete-event simulator and the threaded
-//! runtime.
+//! the virtual test network, the discrete-event simulator, the threaded
+//! runtime and the `mra-net` TCP transport ([`wire`] holds the codecs).
 
 pub mod bouabdallah_laforest;
 pub mod central;
 pub mod incremental;
 pub mod maddi;
+pub mod wire;
 
 pub use bouabdallah_laforest::{BlMsg, BouabdallahLaforest, ControlToken, CtEntry};
 pub use central::{Central, CentralMsg, CentralSched, GrantPolicy};

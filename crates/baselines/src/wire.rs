@@ -1,0 +1,212 @@
+//! Binary wire codecs for the baseline-algorithm messages.
+//!
+//! ```text
+//! CtEntry    := 0 (Token) | 1 last:u32 (Last)
+//! ControlTok := entries:vec<CtEntry>
+//! BlMsg      := 0 NtMsg<ControlToken> | 1 r:u32 from:u32 | 2 r:u32
+//! IncMsg     := r:u32 NtMsg<()>
+//! MadToken   := served:vec<u64>
+//! MadMsg     := 0 origin:u32 ts:u64 set | 1 r:u32 MadToken
+//! CentralMsg := 0 set (Request) | 1 (Grant) | 2 (Release)
+//! ```
+
+use crate::bouabdallah_laforest::{BlMsg, ControlToken, CtEntry};
+use crate::central::CentralMsg;
+use crate::incremental::IncMsg;
+use crate::maddi::{MadMsg, MadToken};
+use mra_protocol::wire::{put_u64, put_usize, DecodeError, WireReader};
+use mra_protocol::WireCodec;
+
+impl WireCodec for CtEntry {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            CtEntry::Token => out.push(0),
+            CtEntry::Last(s) => {
+                out.push(1);
+                put_usize(out, *s);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8("CtEntry tag")? {
+            0 => Ok(CtEntry::Token),
+            1 => Ok(CtEntry::Last(r.get_usize("CtEntry.last")?)),
+            tag => Err(DecodeError::BadTag { what: "CtEntry", tag }),
+        }
+    }
+}
+
+impl WireCodec for ControlToken {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.entries.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        Ok(ControlToken { entries: WireCodec::decode(r)? })
+    }
+}
+
+impl WireCodec for BlMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            BlMsg::Nt(m) => {
+                out.push(0);
+                m.encode(out);
+            }
+            BlMsg::Inquire { r, from } => {
+                out.push(1);
+                put_usize(out, *r);
+                put_usize(out, *from);
+            }
+            BlMsg::ResTok { r } => {
+                out.push(2);
+                put_usize(out, *r);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8("BlMsg tag")? {
+            0 => Ok(BlMsg::Nt(WireCodec::decode(r)?)),
+            1 => Ok(BlMsg::Inquire {
+                r: r.get_usize("BlMsg::Inquire.r")?,
+                from: r.get_usize("BlMsg::Inquire.from")?,
+            }),
+            2 => Ok(BlMsg::ResTok { r: r.get_usize("BlMsg::ResTok.r")? }),
+            tag => Err(DecodeError::BadTag { what: "BlMsg", tag }),
+        }
+    }
+}
+
+impl WireCodec for IncMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_usize(out, self.r);
+        self.inner.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        Ok(IncMsg {
+            r: r.get_usize("IncMsg.r")?,
+            inner: WireCodec::decode(r)?,
+        })
+    }
+}
+
+impl WireCodec for MadToken {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.served.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        Ok(MadToken { served: WireCodec::decode(r)? })
+    }
+}
+
+impl WireCodec for MadMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            MadMsg::Request { origin, ts, set } => {
+                out.push(0);
+                put_usize(out, *origin);
+                put_u64(out, *ts);
+                set.encode(out);
+            }
+            MadMsg::Token { r, tok } => {
+                out.push(1);
+                put_usize(out, *r);
+                tok.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8("MadMsg tag")? {
+            0 => Ok(MadMsg::Request {
+                origin: r.get_usize("MadMsg.origin")?,
+                ts: r.get_u64("MadMsg.ts")?,
+                set: WireCodec::decode(r)?,
+            }),
+            1 => Ok(MadMsg::Token {
+                r: r.get_usize("MadMsg.r")?,
+                tok: MadToken::decode(r)?,
+            }),
+            tag => Err(DecodeError::BadTag { what: "MadMsg", tag }),
+        }
+    }
+}
+
+impl WireCodec for CentralMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            CentralMsg::Request { set } => {
+                out.push(0);
+                set.encode(out);
+            }
+            CentralMsg::Grant => out.push(1),
+            CentralMsg::Release => out.push(2),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8("CentralMsg tag")? {
+            0 => Ok(CentralMsg::Request { set: WireCodec::decode(r)? }),
+            1 => Ok(CentralMsg::Grant),
+            2 => Ok(CentralMsg::Release),
+            tag => Err(DecodeError::BadTag { what: "CentralMsg", tag }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mra_mutex::NtMsg;
+    use mra_types::ResourceSet;
+    use std::fmt;
+
+    fn roundtrip_bytes<T: WireCodec + fmt::Debug>(v: &T) {
+        let bytes = v.to_bytes();
+        let back = T::from_bytes(&bytes).unwrap();
+        assert_eq!(back.to_bytes(), bytes);
+        assert_eq!(format!("{back:?}"), format!("{v:?}"));
+    }
+
+    #[test]
+    fn bl_roundtrips() {
+        let ct = ControlToken {
+            entries: vec![CtEntry::Token, CtEntry::Last(3), CtEntry::Token],
+        };
+        roundtrip_bytes(&BlMsg::Nt(NtMsg::Token(ct)));
+        roundtrip_bytes(&BlMsg::Nt(NtMsg::Request { origin: 7 }));
+        roundtrip_bytes(&BlMsg::Inquire { r: 4, from: 1 });
+        roundtrip_bytes(&BlMsg::ResTok { r: 255 });
+    }
+
+    #[test]
+    fn inc_roundtrips() {
+        roundtrip_bytes(&IncMsg { r: 12, inner: NtMsg::Request { origin: 0 } });
+        roundtrip_bytes(&IncMsg { r: 0, inner: NtMsg::Token(()) });
+    }
+
+    #[test]
+    fn maddi_roundtrips() {
+        roundtrip_bytes(&MadMsg::Request {
+            origin: 2,
+            ts: u64::MAX,
+            set: ResourceSet::full(256),
+        });
+        roundtrip_bytes(&MadMsg::Token {
+            r: 1,
+            tok: MadToken { served: vec![0, 9, u64::MAX] },
+        });
+    }
+
+    #[test]
+    fn central_roundtrips() {
+        roundtrip_bytes(&CentralMsg::Request { set: ResourceSet::singleton(0) });
+        roundtrip_bytes(&CentralMsg::Grant);
+        roundtrip_bytes(&CentralMsg::Release);
+        assert!(CentralMsg::from_bytes(&[7]).is_err());
+    }
+}

@@ -38,6 +38,7 @@ pub mod lass;
 pub mod messages;
 pub mod policy;
 pub mod token;
+pub mod wire;
 
 pub use lass::{Lass, LassConfig, LassStats};
 pub use messages::{CounterVal, LassMsg, LoanReq, Request, ResReq};

@@ -25,6 +25,7 @@ pub mod adapter;
 pub mod naimi_trehel;
 pub mod raymond;
 pub mod suzuki_kasami;
+pub mod wire;
 
 pub use adapter::MutexAllocator;
 pub use naimi_trehel::{NaimiTrehel, NtMsg};

@@ -1,0 +1,152 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Every frame is `[len: u32 LE][tag: u8][payload: len-1 bytes]`; the
+//! payload of a [`TAG_MSG`] frame is one `WireCodec`-encoded protocol
+//! message, control frames ([`TAG_SHUTDOWN`], [`TAG_DONE`]) carry none.
+//! TCP guarantees byte order, so frames on one connection arrive intact
+//! and FIFO — exactly the per-link delivery model the simulator and the
+//! mpsc runtime assume.
+//!
+//! A connection opens with a 4-byte handshake: the connector's `NodeId` as
+//! `u32 LE`.  Links are used unidirectionally (each ordered node pair has
+//! its own connection), so the handshake is all the receiver ever needs to
+//! attribute traffic.
+
+use mra_types::NodeId;
+use std::io::{self, Read, Write};
+
+/// Frame tag: the payload is one encoded protocol message.
+pub const TAG_MSG: u8 = 0;
+/// Frame tag: cluster-wide shutdown (empty payload).
+pub const TAG_SHUTDOWN: u8 = 1;
+/// Frame tag: the sender completed its round quota (empty payload; solo
+/// deployments route these to node 0, which coordinates shutdown).
+pub const TAG_DONE: u8 = 2;
+
+/// Upper bound on a frame's `len` field.  The largest legitimate message
+/// (a full token batch) is a few KiB; anything near this cap is a corrupt
+/// or hostile length prefix, rejected before allocation.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Size of the frame header (`len` field + tag byte).
+pub const HEADER: usize = 5;
+
+/// Start building a frame in `buf`: clear it and reserve the header.
+/// Encode the payload directly after, then call [`end_frame`].  This pair
+/// is the *only* owner of the header layout; senders that want the
+/// single-write/reused-buffer fast path go through it instead of
+/// hand-rolling the five bytes.
+#[inline]
+pub fn begin_frame(buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.extend_from_slice(&[0u8; HEADER]);
+}
+
+/// Finalize a frame started with [`begin_frame`]: patch the length and
+/// tag into the reserved header.  The buffer is then ready to write as
+/// one contiguous frame.
+#[inline]
+pub fn end_frame(buf: &mut [u8], tag: u8) {
+    debug_assert!(buf.len() >= HEADER);
+    let len = (buf.len() - 4) as u32;
+    buf[..4].copy_from_slice(&len.to_le_bytes());
+    buf[4] = tag;
+}
+
+/// Write one frame.  `payload` may be empty (control frames).
+///
+/// One `write_all` per frame keeps NODELAY sockets to a single segment.
+pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(HEADER + payload.len());
+    begin_frame(&mut buf);
+    buf.extend_from_slice(payload);
+    end_frame(&mut buf, tag);
+    w.write_all(&buf)
+}
+
+/// Read one frame into `scratch` (resized to the frame body) and return
+/// its tag; the payload is `&scratch[1..]`.  Errors on EOF, short reads
+/// and out-of-range lengths.
+pub fn read_frame(r: &mut impl Read, scratch: &mut Vec<u8>) -> io::Result<u8> {
+    let mut lenb = [0u8; 4];
+    r.read_exact(&mut lenb)?;
+    let len = u32::from_le_bytes(lenb) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} out of range"),
+        ));
+    }
+    scratch.resize(len, 0);
+    r.read_exact(scratch)?;
+    Ok(scratch[0])
+}
+
+/// Send the connection handshake: the connector's node id.
+pub fn write_handshake(w: &mut impl Write, me: NodeId) -> io::Result<()> {
+    debug_assert!(me <= u32::MAX as usize);
+    w.write_all(&(me as u32).to_le_bytes())
+}
+
+/// Receive the connection handshake, validating the id against `n`.
+pub fn read_handshake(r: &mut impl Read, n: usize) -> io::Result<NodeId> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    let id = u32::from_le_bytes(b) as usize;
+    if id >= n {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("handshake node id {id} out of range 0..{n}"),
+        ));
+    }
+    Ok(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, TAG_MSG, b"hello").unwrap();
+        write_frame(&mut wire, TAG_SHUTDOWN, b"").unwrap();
+        let mut r = Cursor::new(wire);
+        let mut scratch = Vec::new();
+        assert_eq!(read_frame(&mut r, &mut scratch).unwrap(), TAG_MSG);
+        assert_eq!(&scratch[1..], b"hello");
+        assert_eq!(read_frame(&mut r, &mut scratch).unwrap(), TAG_SHUTDOWN);
+        assert_eq!(scratch.len(), 1);
+        // EOF afterwards.
+        assert!(read_frame(&mut r, &mut scratch).is_err());
+    }
+
+    #[test]
+    fn buffer_built_frame_matches_write_frame() {
+        let mut streamed = Vec::new();
+        write_frame(&mut streamed, TAG_MSG, b"abc").unwrap();
+        let mut built = Vec::new();
+        begin_frame(&mut built);
+        built.extend_from_slice(b"abc");
+        end_frame(&mut built, TAG_MSG);
+        assert_eq!(streamed, built);
+    }
+
+    #[test]
+    fn zero_and_oversized_lengths_rejected() {
+        let mut scratch = Vec::new();
+        let zero = 0u32.to_le_bytes();
+        assert!(read_frame(&mut Cursor::new(zero), &mut scratch).is_err());
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        assert!(read_frame(&mut Cursor::new(huge), &mut scratch).is_err());
+    }
+
+    #[test]
+    fn handshake_roundtrip_and_validation() {
+        let mut wire = Vec::new();
+        write_handshake(&mut wire, 6).unwrap();
+        assert_eq!(read_handshake(&mut Cursor::new(&wire), 8).unwrap(), 6);
+        assert!(read_handshake(&mut Cursor::new(&wire), 6).is_err());
+    }
+}

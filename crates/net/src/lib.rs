@@ -1,0 +1,61 @@
+//! # mra-net — real TCP transport and node runtime
+//!
+//! The paper evaluated LASS on a 32-node cluster over OpenMPI; this crate
+//! is the workspace's equivalent deployment surface.  It turns the pure
+//! [`Allocator`](mra_protocol::Allocator) state machines into nodes that
+//! talk over actual sockets — the fourth substrate, after the virtual
+//! test network, the discrete-event simulator and the mpsc threaded
+//! runtime — so wire-level and simulated behavior can be compared on the
+//! same metrics ([`RunResult`](mra_sim::RunResult)).
+//!
+//! Layers:
+//!
+//! * [`frame`] — length-prefixed framing and the connection handshake;
+//!   messages are encoded with the hand-rolled
+//!   [`WireCodec`](mra_protocol::WireCodec) implementations that live
+//!   next to each protocol's message types (no serde: the wire format is
+//!   specified in `mra_protocol::wire`).
+//! * [`transport`] — the full TCP mesh: one framed connection per ordered
+//!   node pair (per-link FIFO for free), a peer directory
+//!   (`NodeId → SocketAddr`), reader threads, and transport-level
+//!   shutdown coordination.  Implements [`mra_sim::NodePort`], the same
+//!   abstraction the mpsc runtime uses, so both substrates are backends
+//!   of one shared node loop (`mra_sim::runtime`).
+//! * [`cluster`] — harnesses: [`run_tcp_cluster`] spawns an N-node
+//!   loopback cluster in one process (with full
+//!   [`SafetyMonitor`](mra_protocol::testkit::SafetyMonitor) coverage);
+//!   [`run_solo_node`] runs one node of a multi-process cluster.
+//!
+//! The `mra-node` binary wraps the harnesses into a CLI:
+//!
+//! ```text
+//! mra-node --algo lass --nodes 8 --resources 16 --rounds 25
+//! ```
+//!
+//! ## Example: LASS over real sockets
+//!
+//! ```
+//! use mra_core::LassConfig;
+//! use mra_net::{run_tcp_cluster, TcpClusterConfig};
+//! use mra_sim::FixedWorkload;
+//! use mra_types::Time;
+//!
+//! let cfg = LassConfig::with_loan(3, 6);
+//! let workloads = (0..3)
+//!     .map(|_| FixedWorkload {
+//!         think: Time::from_micros(100),
+//!         cs: Time::from_micros(200),
+//!         m: 6,
+//!         size: 2,
+//!     })
+//!     .collect();
+//! let res = run_tcp_cluster(cfg.build_nodes(), workloads, 6, TcpClusterConfig::new(2, 7));
+//! assert_eq!(res.cs_completed, 6); // 3 nodes x 2 rounds, zero violations
+//! ```
+
+pub mod cluster;
+pub mod frame;
+pub mod transport;
+
+pub use cluster::{run_solo_node, run_tcp_cluster, SoloConfig, TcpClusterConfig};
+pub use transport::{connect_mesh, MeshConfig, PeerDirectory, PortCtrl, TcpPort};

@@ -1,0 +1,466 @@
+//! The TCP mesh: per-peer framed connections implementing
+//! [`mra_sim::NodePort`].
+//!
+//! Topology: every ordered node pair `(i, j)` gets its own connection,
+//! opened by `i` and used only for `i → j` traffic.  One TCP stream per
+//! direction gives per-link FIFO for free and sidesteps write-contention
+//! on shared sockets.  Each inbound connection is drained by a dedicated
+//! reader thread that decodes frames and forwards them to the node loop
+//! over an internal channel; writes happen inline on the node thread
+//! (loopback and LAN socket buffers absorb them without blocking).
+//!
+//! Shutdown is coordinated at the transport level so the shared runtime
+//! loop stays substrate-agnostic:
+//!
+//! * **in-process clusters** ([`PortCtrl::Cluster`]) count finishers in a
+//!   shared atomic — the last one broadcasts [`TAG_SHUTDOWN`] frames;
+//! * **multi-process deployments** ([`PortCtrl::Solo`]) send [`TAG_DONE`]
+//!   frames to node 0, which broadcasts the shutdown once every active
+//!   node (itself included) has finished.
+//!
+//! A reader that hits EOF or a decode error injects a shutdown event
+//! rather than wedging the node: peers only close links when the run is
+//! over (or broken), and either way the node must exit.
+
+use crate::frame::{
+    read_frame, read_handshake, write_frame, write_handshake, TAG_DONE, TAG_MSG, TAG_SHUTDOWN,
+};
+use mra_protocol::WireCodec;
+use mra_sim::{NodePort, PortEvent};
+use mra_types::{NodeId, Time};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The cluster map: `NodeId → SocketAddr` for every node.
+#[derive(Clone, Debug)]
+pub struct PeerDirectory {
+    addrs: Vec<SocketAddr>,
+}
+
+impl PeerDirectory {
+    /// Directory over explicit addresses (index = node id).
+    pub fn new(addrs: Vec<SocketAddr>) -> Self {
+        assert!(!addrs.is_empty(), "empty peer directory");
+        PeerDirectory { addrs }
+    }
+
+    /// Parse a comma-separated `host:port,host:port,…` list (the
+    /// `mra-node --peers` format).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let addrs: Result<Vec<SocketAddr>, String> = spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<SocketAddr>()
+                    .map_err(|e| format!("bad peer address {s:?}: {e}"))
+            })
+            .collect();
+        let addrs = addrs?;
+        if addrs.is_empty() {
+            return Err("empty peer list".into());
+        }
+        Ok(PeerDirectory::new(addrs))
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// True if the directory is empty (never: construction forbids it;
+    /// present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Address of node `id`.
+    pub fn addr(&self, id: NodeId) -> SocketAddr {
+        self.addrs[id]
+    }
+}
+
+/// How a [`TcpPort`] coordinates cluster-wide shutdown.
+pub enum PortCtrl {
+    /// In-process loopback cluster: finishers decrement the shared count;
+    /// the last one broadcasts shutdown frames.
+    Cluster(Arc<AtomicUsize>),
+    /// One process per node: finishers report [`TAG_DONE`] to node 0,
+    /// which broadcasts shutdown once all `active` nodes are done.
+    Solo {
+        /// Number of request-issuing nodes (`0..active`; node 0 included).
+        active: usize,
+        /// Done reports seen so far (node 0 only; includes itself).
+        done_seen: usize,
+        /// Has this node finished its own quota?
+        self_done: bool,
+    },
+}
+
+/// Transport-level event forwarded by reader threads to the node loop.
+enum Inbound<M> {
+    Msg {
+        from: NodeId,
+        deliver_at: Instant,
+        msg: M,
+    },
+    Done,
+    Shutdown,
+}
+
+/// A node's TCP connection bundle: implements [`NodePort`] over real
+/// sockets.  Build one with [`connect_mesh`].
+pub struct TcpPort<M> {
+    me: NodeId,
+    /// Outbound stream per peer (`None` at `me`).
+    writers: Vec<Option<TcpStream>>,
+    rx: mpsc::Receiver<Inbound<M>>,
+    ctrl: PortCtrl,
+    /// Reusable encode buffer (header + payload, written in one call).
+    buf: Vec<u8>,
+}
+
+impl<M> TcpPort<M> {
+    fn broadcast_shutdown(&mut self) {
+        for w in self.writers.iter_mut().flatten() {
+            let _ = write_frame(w, TAG_SHUTDOWN, &[]);
+        }
+    }
+
+    /// Translate a transport event; `None` means "keep receiving" (a
+    /// control frame that did not end the run).
+    fn translate(&mut self, inb: Inbound<M>) -> Option<PortEvent<M>> {
+        match inb {
+            Inbound::Msg { from, deliver_at, msg } => {
+                Some(PortEvent::Msg { from, deliver_at, msg })
+            }
+            Inbound::Shutdown => Some(PortEvent::Shutdown),
+            Inbound::Done => {
+                let finished = match &mut self.ctrl {
+                    PortCtrl::Solo { active, done_seen, self_done } => {
+                        *done_seen += 1;
+                        *self_done && *done_seen >= *active
+                    }
+                    // Done frames only flow in solo deployments.
+                    PortCtrl::Cluster(_) => false,
+                };
+                if finished {
+                    self.broadcast_shutdown();
+                    return Some(PortEvent::Shutdown);
+                }
+                None
+            }
+        }
+    }
+}
+
+impl<M: WireCodec + Send> NodePort<M> for TcpPort<M> {
+    fn send(&mut self, to: NodeId, msg: M) {
+        crate::frame::begin_frame(&mut self.buf);
+        msg.encode(&mut self.buf);
+        crate::frame::end_frame(&mut self.buf, TAG_MSG);
+        if let Some(w) = self.writers[to].as_mut() {
+            // Failures mean the peer is past shutdown; the run is over.
+            let _ = io::Write::write_all(w, &self.buf);
+        }
+    }
+
+    fn recv(&mut self) -> PortEvent<M> {
+        loop {
+            match self.rx.recv() {
+                Err(_) => return PortEvent::Shutdown,
+                Ok(inb) => {
+                    if let Some(ev) = self.translate(inb) {
+                        return ev;
+                    }
+                }
+            }
+        }
+    }
+
+    fn recv_deadline(&mut self, deadline: Instant) -> PortEvent<M> {
+        loop {
+            let wait = deadline.saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(wait) {
+                Err(mpsc::RecvTimeoutError::Timeout) => return PortEvent::TimedOut,
+                Err(mpsc::RecvTimeoutError::Disconnected) => return PortEvent::Shutdown,
+                Ok(inb) => {
+                    if let Some(ev) = self.translate(inb) {
+                        return ev;
+                    }
+                }
+            }
+        }
+    }
+
+    fn quota_done(&mut self) -> bool {
+        enum Act {
+            LastFinisher,
+            ReportDone,
+            Wait,
+        }
+        let act = match &mut self.ctrl {
+            PortCtrl::Cluster(remaining) => {
+                if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    Act::LastFinisher
+                } else {
+                    Act::Wait
+                }
+            }
+            PortCtrl::Solo { active, done_seen, self_done } => {
+                *self_done = true;
+                if self.me == 0 {
+                    *done_seen += 1;
+                    if *done_seen >= *active {
+                        Act::LastFinisher
+                    } else {
+                        Act::Wait
+                    }
+                } else {
+                    Act::ReportDone
+                }
+            }
+        };
+        match act {
+            Act::LastFinisher => {
+                self.broadcast_shutdown();
+                true
+            }
+            Act::ReportDone => {
+                if let Some(w) = self.writers[0].as_mut() {
+                    let _ = write_frame(w, TAG_DONE, &[]);
+                }
+                false
+            }
+            Act::Wait => false,
+        }
+    }
+}
+
+/// Mesh construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MeshConfig {
+    /// Artificial latency added on top of the real wire (delivery of each
+    /// message is deferred by this much at the receiver).  `Time::ZERO`
+    /// measures the raw transport.
+    pub extra_latency: Time,
+    /// How long to keep retrying outbound connections (peers of a
+    /// multi-process cluster may start later than this node).
+    pub connect_timeout: Duration,
+}
+
+impl Default for MeshConfig {
+    fn default() -> Self {
+        MeshConfig {
+            extra_latency: Time::ZERO,
+            connect_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+fn connect_retry(addr: SocketAddr, timeout: Duration) -> io::Result<TcpStream> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        e.kind(),
+                        format!("connecting to {addr} timed out: {e}"),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Build node `me`'s full mesh: connect to every peer in `dir`, accept
+/// every peer's inbound connection on `listener`, and spawn one reader
+/// thread per inbound link.
+///
+/// The caller must have bound `listener` (on `dir.addr(me)` or, for
+/// loopback harnesses, wherever the directory says) **before** any node
+/// starts connecting — pre-bound listeners make the connect phase
+/// deadlock-free: a `connect` completes against the listen backlog even
+/// while the acceptor is still connecting out.
+pub fn connect_mesh<M>(
+    me: NodeId,
+    listener: TcpListener,
+    dir: &PeerDirectory,
+    ctrl: PortCtrl,
+    cfg: MeshConfig,
+) -> io::Result<TcpPort<M>>
+where
+    M: WireCodec + Send + 'static,
+{
+    let n = dir.len();
+    assert!(me < n, "node id {me} outside directory 0..{n}");
+
+    // Outbound: one connection per peer, handshake first.
+    let mut writers: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+    for (to, slot) in writers.iter_mut().enumerate() {
+        if to == me {
+            continue;
+        }
+        let mut s = connect_retry(dir.addr(to), cfg.connect_timeout)?;
+        s.set_nodelay(true)?;
+        write_handshake(&mut s, me)?;
+        *slot = Some(s);
+    }
+
+    // Inbound: accept n-1 links; the handshake names the sender.
+    let (tx, rx) = mpsc::channel::<Inbound<M>>();
+    let extra = cfg.extra_latency.to_std();
+    for _ in 0..n - 1 {
+        let (mut stream, _) = listener.accept()?;
+        stream.set_nodelay(true)?;
+        let from = read_handshake(&mut stream, n)?;
+        let tx = tx.clone();
+        std::thread::Builder::new()
+            .name(format!("mra-net-rx-{me}-from-{from}"))
+            .spawn(move || reader_loop::<M>(stream, from, tx, extra))
+            .expect("spawn reader thread");
+    }
+
+    Ok(TcpPort {
+        me,
+        writers,
+        rx,
+        ctrl,
+        buf: Vec::with_capacity(256),
+    })
+}
+
+/// Drain one inbound link: decode frames, stamp delivery deadlines, feed
+/// the node loop.  Exits on shutdown, EOF, decode failure or a dropped
+/// receiver.
+fn reader_loop<M: WireCodec>(
+    mut stream: TcpStream,
+    from: NodeId,
+    tx: mpsc::Sender<Inbound<M>>,
+    extra_latency: Duration,
+) {
+    let mut scratch = Vec::with_capacity(256);
+    loop {
+        let event = match read_frame(&mut stream, &mut scratch) {
+            Ok(TAG_MSG) => match M::from_bytes(&scratch[1..]) {
+                Ok(msg) => Inbound::Msg {
+                    from,
+                    deliver_at: Instant::now() + extra_latency,
+                    msg,
+                },
+                Err(e) => {
+                    eprintln!("mra-net: dropping link from node {from}: {e}");
+                    Inbound::Shutdown
+                }
+            },
+            Ok(TAG_DONE) => Inbound::Done,
+            // TAG_SHUTDOWN, unknown tags and IO errors (EOF included) all
+            // end the link; the node loop decides nothing more arrives.
+            _ => Inbound::Shutdown,
+        };
+        let terminal = matches!(event, Inbound::Shutdown);
+        if tx.send(event).is_err() || terminal {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directory_parse() {
+        let d = PeerDirectory::parse("127.0.0.1:9000, 127.0.0.1:9001").unwrap();
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.addr(1).port(), 9001);
+        assert!(PeerDirectory::parse("not-an-addr").is_err());
+        assert!(PeerDirectory::parse("").is_err());
+    }
+
+    #[test]
+    fn two_node_mesh_moves_messages() {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dir = PeerDirectory::new(vec![
+            l0.local_addr().unwrap(),
+            l1.local_addr().unwrap(),
+        ]);
+        let d0 = dir.clone();
+        let remaining = Arc::new(AtomicUsize::new(2));
+        let r0 = Arc::clone(&remaining);
+        let t = std::thread::spawn(move || {
+            let mut p0: TcpPort<u64> = connect_mesh(
+                0,
+                l0,
+                &d0,
+                PortCtrl::Cluster(r0),
+                MeshConfig::default(),
+            )
+            .unwrap();
+            p0.send(1, 0xDEAD_BEEF);
+            match p0.recv() {
+                PortEvent::Msg { from, msg, .. } => {
+                    assert_eq!((from, msg), (1, 7));
+                }
+                _ => panic!("expected message"),
+            }
+        });
+        let mut p1: TcpPort<u64> = connect_mesh(
+            1,
+            l1,
+            &dir,
+            PortCtrl::Cluster(Arc::clone(&remaining)),
+            MeshConfig::default(),
+        )
+        .unwrap();
+        p1.send(0, 7);
+        match p1.recv() {
+            PortEvent::Msg { from, msg, .. } => assert_eq!((from, msg), (0, 0xDEAD_BEEF)),
+            _ => panic!("expected message"),
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn last_finisher_shutdown_reaches_peer() {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dir = PeerDirectory::new(vec![
+            l0.local_addr().unwrap(),
+            l1.local_addr().unwrap(),
+        ]);
+        let d0 = dir.clone();
+        let remaining = Arc::new(AtomicUsize::new(1));
+        let r0 = Arc::clone(&remaining);
+        let t = std::thread::spawn(move || {
+            let mut p0: TcpPort<u64> = connect_mesh(
+                0,
+                l0,
+                &d0,
+                PortCtrl::Cluster(r0),
+                MeshConfig::default(),
+            )
+            .unwrap();
+            // Only active node finishes: broadcasts shutdown, exits.
+            assert!(p0.quota_done());
+        });
+        let mut p1: TcpPort<u64> = connect_mesh(
+            1,
+            l1,
+            &dir,
+            PortCtrl::Cluster(Arc::clone(&remaining)),
+            MeshConfig::default(),
+        )
+        .unwrap();
+        assert!(matches!(p1.recv(), PortEvent::Shutdown));
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,271 @@
+//! Property-based round-trip coverage of every wire message variant:
+//! `decode(encode(m)) == m` for the LASS, mutex and baseline protocols,
+//! including max-size `ResourceSet`s and boundary counter values.
+//!
+//! Most message types deliberately omit `PartialEq` (tokens are stateful),
+//! so equality is pinned two ways at once: the decoded value must
+//! re-encode to byte-identical output (encode is deterministic and
+//! injective on the value's wire image) and must render the same `Debug`
+//! form.
+
+use mra_baselines::{BlMsg, CentralMsg, ControlToken, CtEntry, IncMsg, MadMsg};
+use mra_baselines::maddi::MadToken;
+use mra_core::{CounterVal, LassMsg, LoanReq, Request, ResReq, Token};
+use mra_mutex::{NtMsg, RayMsg, SkMsg, SkToken};
+use mra_protocol::WireCodec;
+use mra_types::{BitSet256, NodeSet, ResourceSet};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::fmt::Debug;
+
+fn assert_roundtrip<T: WireCodec + Debug>(v: &T) -> Result<(), TestCaseError> {
+    let bytes = v.to_bytes();
+    let back = T::from_bytes(&bytes)
+        .map_err(|e| TestCaseError::fail(format!("decode failed: {e} for {v:?}")))?;
+    prop_assert_eq!(&back.to_bytes(), &bytes, "re-encode differs for {:?}", v);
+    prop_assert_eq!(format!("{back:?}"), format!("{v:?}"));
+    Ok(())
+}
+
+/// Arbitrary bitset, biased toward interesting shapes: empty, sparse,
+/// dense and completely full (the 256-element maximum).
+fn any_set() -> impl Strategy<Value = BitSet256> {
+    prop_oneof![
+        Just(BitSet256::EMPTY),
+        Just(BitSet256::full(256)),
+        vec(0usize..256, 0..12).prop_map(|els| els.into_iter().collect()),
+        (0usize..257).prop_map(BitSet256::full),
+    ]
+}
+
+/// Counter-ish u64 including the boundary values.
+fn any_counter() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(1u64),
+        Just(u64::MAX),
+        Just(u64::MAX - 1),
+        any::<u64>(),
+    ]
+}
+
+/// Scheduling marks.  The protocol only ever produces finite marks
+/// (`order_key` asserts it), so generators stay finite too; bit-exact
+/// transport of NaN/inf is covered by the primitive codec tests in
+/// `mra_protocol::wire`.
+fn any_mark() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0f64),
+        Just(-0.0f64),
+        Just(f64::MAX),
+        Just(f64::MIN_POSITIVE),
+        0.0f64..1e9,
+    ]
+}
+
+fn any_res_req() -> impl Strategy<Value = ResReq> {
+    (0usize..256, 0usize..256, any_counter(), any_mark())
+        .prop_map(|(r, sinit, id, mark)| ResReq { r, sinit, id, mark })
+}
+
+fn any_loan_req() -> impl Strategy<Value = LoanReq> {
+    (0usize..256, 0usize..256, any_counter(), any_mark(), any_set())
+        .prop_map(|(r, sinit, id, mark, missing)| LoanReq { r, sinit, id, mark, missing })
+}
+
+fn any_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (0usize..256, 0usize..256, any_counter(), any::<bool>())
+            .prop_map(|(r, sinit, id, single)| Request::Cnt { r, sinit, id, single }),
+        any_res_req().prop_map(Request::Res),
+        any_loan_req().prop_map(Request::Loan),
+    ]
+}
+
+fn any_token() -> impl Strategy<Value = Token> {
+    (
+        (0usize..256, any_counter(), 1usize..33),
+        vec(any_res_req(), 0..6),
+        vec(any_loan_req(), 0..4),
+        prop_oneof![Just(None), (0usize..256).prop_map(Some)],
+        vec(any_counter(), 0..8),
+    )
+        .prop_map(|((r, counter, n), w_queue, w_loan, lender, stamps)| {
+            let mut t = Token::new(r, n);
+            t.counter = counter;
+            for (i, s) in stamps.iter().enumerate() {
+                t.last_req_c[i % n] = *s;
+                t.last_cs[(i + 1) % n] = s.wrapping_mul(3);
+            }
+            // Route queue entries through the real insertion paths so the
+            // encoded token is one the protocol could actually produce.
+            for q in w_queue {
+                t.enqueue_res(q);
+            }
+            for q in w_loan {
+                t.enqueue_loan(q);
+            }
+            t.lender = lender;
+            t
+        })
+}
+
+fn any_lass_msg() -> impl Strategy<Value = LassMsg> {
+    prop_oneof![
+        (any_set(), vec(any_request(), 0..8))
+            .prop_map(|(visited, reqs)| LassMsg::Requests { visited, reqs }),
+        vec(
+            (0usize..256, any_counter(), any_counter())
+                .prop_map(|(r, val, id)| CounterVal { r, val, id }),
+            0..8
+        )
+        .prop_map(LassMsg::Counters),
+        vec(any_token(), 0..4).prop_map(LassMsg::Tokens),
+    ]
+}
+
+fn any_sk_msg() -> impl Strategy<Value = SkMsg> {
+    prop_oneof![
+        (0usize..256, any_counter()).prop_map(|(origin, seq)| SkMsg::Request { origin, seq }),
+        (vec(any_counter(), 0..16), vec(0usize..256, 0..16)).prop_map(|(ln, q)| {
+            SkMsg::Token(SkToken {
+                ln,
+                queue: VecDeque::from(q),
+            })
+        }),
+    ]
+}
+
+fn any_control_token() -> impl Strategy<Value = ControlToken> {
+    vec(
+        prop_oneof![Just(CtEntry::Token), (0usize..256).prop_map(CtEntry::Last)],
+        0..24,
+    )
+    .prop_map(|entries| ControlToken { entries })
+}
+
+fn any_bl_msg() -> impl Strategy<Value = BlMsg> {
+    prop_oneof![
+        (0usize..256).prop_map(|origin| BlMsg::Nt(NtMsg::Request { origin })),
+        any_control_token().prop_map(|ct| BlMsg::Nt(NtMsg::Token(ct))),
+        (0usize..256, 0usize..256).prop_map(|(r, from)| BlMsg::Inquire { r, from }),
+        (0usize..256).prop_map(|r| BlMsg::ResTok { r }),
+    ]
+}
+
+fn any_inc_msg() -> impl Strategy<Value = IncMsg> {
+    prop_oneof![
+        (0usize..256, 0usize..256)
+            .prop_map(|(r, origin)| IncMsg { r, inner: NtMsg::Request { origin } }),
+        (0usize..256).prop_map(|r| IncMsg { r, inner: NtMsg::Token(()) }),
+    ]
+}
+
+fn any_mad_msg() -> impl Strategy<Value = MadMsg> {
+    prop_oneof![
+        (0usize..256, any_counter(), any_set())
+            .prop_map(|(origin, ts, set)| MadMsg::Request { origin, ts, set }),
+        (0usize..256, vec(any_counter(), 0..16))
+            .prop_map(|(r, served)| MadMsg::Token { r, tok: MadToken { served } }),
+    ]
+}
+
+fn any_central_msg() -> impl Strategy<Value = CentralMsg> {
+    prop_oneof![
+        any_set().prop_map(|set| CentralMsg::Request { set }),
+        Just(CentralMsg::Grant),
+        Just(CentralMsg::Release),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lass_messages_roundtrip(m in any_lass_msg()) {
+        assert_roundtrip(&m)?;
+    }
+
+    #[test]
+    fn naimi_trehel_messages_roundtrip(m in prop_oneof![
+        (0usize..256).prop_map(|origin| NtMsg::<u64>::Request { origin }),
+        any::<u64>().prop_map(NtMsg::Token),
+    ]) {
+        assert_roundtrip(&m)?;
+    }
+
+    #[test]
+    fn suzuki_kasami_messages_roundtrip(m in any_sk_msg()) {
+        assert_roundtrip(&m)?;
+    }
+
+    #[test]
+    fn raymond_messages_roundtrip(token in any::<bool>()) {
+        assert_roundtrip(&if token { RayMsg::Token } else { RayMsg::Request })?;
+    }
+
+    #[test]
+    fn bouabdallah_laforest_messages_roundtrip(m in any_bl_msg()) {
+        assert_roundtrip(&m)?;
+    }
+
+    #[test]
+    fn incremental_messages_roundtrip(m in any_inc_msg()) {
+        assert_roundtrip(&m)?;
+    }
+
+    #[test]
+    fn maddi_messages_roundtrip(m in any_mad_msg()) {
+        assert_roundtrip(&m)?;
+    }
+
+    #[test]
+    fn central_messages_roundtrip(m in any_central_msg()) {
+        assert_roundtrip(&m)?;
+    }
+
+    #[test]
+    fn truncation_never_panics(m in any_lass_msg(), cut in 0usize..64) {
+        // Any prefix of a valid encoding must decode to Err, not panic
+        // (and never loop): the codec is total on corrupt input.
+        let bytes = m.to_bytes();
+        if cut < bytes.len() {
+            prop_assert!(LassMsg::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+}
+
+/// Deterministic boundary cases the random generators might miss.
+#[test]
+fn boundary_values_roundtrip() {
+    // Max-size resource set in every position that carries one.
+    let full = ResourceSet::full(256);
+    assert_roundtrip(&LassMsg::Requests {
+        visited: full,
+        reqs: vec![Request::Loan(LoanReq {
+            r: 255,
+            sinit: 255,
+            id: u64::MAX,
+            mark: f64::MAX,
+            missing: full,
+        })],
+    })
+    .unwrap();
+    assert_roundtrip(&MadMsg::Request { origin: 255, ts: u64::MAX, set: full }).unwrap();
+    assert_roundtrip(&CentralMsg::Request { set: full }).unwrap();
+
+    // Boundary counters everywhere a token carries them.
+    let mut t = Token::new(255, 32);
+    t.counter = u64::MAX;
+    for s in t.last_req_c.iter_mut().chain(t.last_cs.iter_mut()) {
+        *s = u64::MAX;
+    }
+    assert_roundtrip(&LassMsg::Tokens(vec![t])).unwrap();
+
+    // Empty batches are legal wire messages.
+    assert_roundtrip(&LassMsg::Counters(Vec::new())).unwrap();
+    assert_roundtrip(&LassMsg::Tokens(Vec::new())).unwrap();
+    assert_roundtrip(&LassMsg::Requests { visited: NodeSet::EMPTY, reqs: Vec::new() })
+        .unwrap();
+}

@@ -5,16 +5,21 @@
 //! implementing [`Allocator`].  Handlers never talk to a network or a clock
 //! directly: they receive a [`Ctx`] that buffers outgoing messages and
 //! records a "granted" signal.  This makes the same protocol code runnable
-//! under three substrates without modification:
+//! under four substrates without modification:
 //!
 //! 1. [`testkit::VirtualNet`] — a synchronous, randomized-interleaving
 //!    network used for unit tests and property-based safety/liveness tests;
 //! 2. `mra-sim`'s discrete-event simulator — adds virtual time, link
 //!    latencies and the paper's workload model (the substrate used for all
 //!    figure reproductions);
-//! 3. `mra-sim`'s threaded runtime — real OS threads and `std::sync::mpsc` channels.
+//! 3. `mra-sim`'s threaded runtime — real OS threads and `std::sync::mpsc` channels;
+//! 4. `mra-net`'s TCP transport — real sockets, one process or many, using
+//!    the [`wire`] codecs to put messages on an actual wire.
 
 pub mod testkit;
+pub mod wire;
+
+pub use wire::{DecodeError, WireCodec, WireReader};
 
 use mra_types::{NodeId, ResourceSet, Time};
 use std::fmt;

@@ -21,6 +21,8 @@
 //! * [`metrics`] — per-request records, use-rate accounting and summaries;
 //! * [`stats`] — small numerically careful helpers (mean/std/percentiles);
 //! * [`trace`] — ASCII Gantt rendering of runs (the paper's Fig. 1 / 4);
+//! * [`runtime`] — the substrate-independent real-time node loop shared by
+//!   the threaded runtime and `mra-net`'s TCP transport;
 //! * [`threaded`] — a real-concurrency runtime (one OS thread per node,
 //!   std::sync::mpsc channels) running the very same protocol code, used to
 //!   validate the protocols outside the simulator.
@@ -28,6 +30,7 @@
 pub mod driver;
 pub mod latency;
 pub mod metrics;
+pub mod runtime;
 pub mod sim;
 pub mod stats;
 pub mod threaded;
@@ -36,6 +39,7 @@ pub mod trace;
 pub use driver::{FixedWorkload, Workload};
 pub use latency::LatencyModel;
 pub use metrics::{ReqRecord, RunResult, WaitStats};
+pub use runtime::{drive_node, NodeCfg, NodePort, PortEvent, RunShared};
 pub use sim::{Sim, SimConfig};
 pub use threaded::{run_threaded, ThreadedConfig};
 pub use trace::render_gantt;

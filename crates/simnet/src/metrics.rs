@@ -44,14 +44,19 @@ pub struct WaitStats {
 }
 
 impl WaitStats {
-    /// Compute from raw waits in milliseconds.
-    pub fn from_ms(ms: &[f64]) -> Self {
+    /// Compute from raw waits in milliseconds.  Takes the samples by value
+    /// and sorts them **once**: median and p95 then use the
+    /// [`stats::percentile_sorted`] fast path instead of re-sorting a clone
+    /// per percentile (this sits on the per-report hot path of every
+    /// figure sweep and bench run).
+    pub fn from_ms(mut ms: Vec<f64>) -> Self {
+        ms.sort_by(|a, b| a.total_cmp(b));
         WaitStats {
             count: ms.len(),
-            mean_ms: stats::mean(ms),
-            std_ms: stats::std_dev(ms),
-            median_ms: stats::median(ms),
-            p95_ms: stats::percentile(ms, 95.0),
+            mean_ms: stats::mean(&ms),
+            std_ms: stats::std_dev(&ms),
+            median_ms: stats::percentile_sorted(&ms, 50.0),
+            p95_ms: stats::percentile_sorted(&ms, 95.0),
         }
     }
 }
@@ -105,7 +110,7 @@ impl RunResult {
             .filter_map(|r| r.wait())
             .map(|t| t.as_millis_f64())
             .collect();
-        WaitStats::from_ms(&ms)
+        WaitStats::from_ms(ms)
     }
 
     /// Waiting-time statistics restricted to request sizes in `lo..=hi`
@@ -118,7 +123,7 @@ impl RunResult {
             .filter_map(|r| r.wait())
             .map(|t| t.as_millis_f64())
             .collect();
-        WaitStats::from_ms(&ms)
+        WaitStats::from_ms(ms)
     }
 
     /// Split `1..=phi` into `buckets` contiguous ranges and return

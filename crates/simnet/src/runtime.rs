@@ -1,0 +1,258 @@
+//! The substrate-independent real-time node loop.
+//!
+//! The threaded mpsc runtime ([`crate::threaded`]) and `mra-net`'s TCP
+//! transport both drive the same per-node event loop: wait for either a
+//! message or a workload timer, feed the protocol state machine, flush its
+//! outbox, and account grants/releases against the shared
+//! [`SafetyMonitor`] and [`Collector`].  This module owns that loop —
+//! [`drive_node`] — and the [`NodePort`] abstraction the two substrates
+//! implement, so wire-level and in-process runs differ *only* in how bytes
+//! move between nodes.
+//!
+//! Lifecycle per active node: think → request → wait for grant → hold the
+//! critical section → release, repeated `rounds` times.  After its quota a
+//! node parks but keeps serving protocol traffic (forwarding requests,
+//! relaying tokens) until the cluster-wide shutdown signal — coordinated by
+//! the port, see [`NodePort::quota_done`] — reaches it.
+
+use crate::driver::{Driver, DriverState, Workload};
+use crate::metrics::Collector;
+use mra_protocol::testkit::SafetyMonitor;
+use mra_protocol::{Allocator, Ctx, WireMsg};
+use mra_types::{NodeId, Time};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Lock preserving parking_lot-like semantics: a poisoned mutex (some node
+/// thread already panicked) still yields its data, so the original panic
+/// reaches the joiner instead of a PoisonError cascade.
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One delivery from the port to the node loop.
+pub enum PortEvent<M> {
+    /// A protocol message from `from`, to be processed no earlier than
+    /// `deliver_at` (ports emulating extra link latency set it in the
+    /// future; the loop sleeps out the difference).
+    Msg {
+        /// Sending node.
+        from: NodeId,
+        /// Earliest processing instant.
+        deliver_at: Instant,
+        /// The protocol message.
+        msg: M,
+    },
+    /// No message arrived before the requested deadline.
+    TimedOut,
+    /// The cluster is shutting down (or the transport collapsed); the node
+    /// loop exits.
+    Shutdown,
+}
+
+/// A node's connection to the rest of the cluster.
+///
+/// Implementations: the mpsc channel mesh in [`crate::threaded`] and the
+/// TCP mesh in `mra-net`.  Both must deliver messages FIFO per directed
+/// link (the assumption every protocol in this workspace makes).
+pub trait NodePort<M>: Send {
+    /// Queue `msg` for delivery to `to`.  Send failures after shutdown are
+    /// ignored — the run is already over.
+    fn send(&mut self, to: NodeId, msg: M);
+
+    /// Block until the next event (never returns [`PortEvent::TimedOut`]).
+    fn recv(&mut self) -> PortEvent<M>;
+
+    /// Block until the next event or `deadline`, whichever comes first.
+    fn recv_deadline(&mut self, deadline: Instant) -> PortEvent<M>;
+
+    /// This node just completed its round quota.  The port coordinates the
+    /// cluster-wide shutdown; a `true` return means this node was the last
+    /// active finisher and must exit immediately (the shutdown signal it
+    /// just broadcast will release everyone else).
+    fn quota_done(&mut self) -> bool;
+}
+
+/// State shared by every node of one run: safety monitoring, metrics and
+/// the common epoch that turns wall-clock instants into [`Time`] stamps.
+#[derive(Debug)]
+pub struct RunShared {
+    /// Mutual-exclusion safety checker (panics on violation).
+    pub monitor: Mutex<SafetyMonitor>,
+    /// Metrics accumulator.
+    pub collector: Mutex<Collector>,
+    /// Wall-clock origin of the run.
+    pub epoch: Instant,
+}
+
+impl RunShared {
+    /// Fresh shared state for `n` nodes and `m` resources.  The collector
+    /// window is open-ended (clamped to the actual end by
+    /// [`Collector::finish`]).
+    pub fn new(n: usize, m: usize) -> Self {
+        RunShared {
+            monitor: Mutex::new(SafetyMonitor::new(n, m)),
+            collector: Mutex::new(Collector::new(n, m, (Time::ZERO, Time::from_secs(3600)))),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Wall time elapsed since the run epoch.
+    pub fn now(&self) -> Time {
+        Time::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+}
+
+/// Per-node run parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeCfg {
+    /// Request/CS cycles this node must complete (ignored when passive).
+    pub rounds: usize,
+    /// Master seed; each node derives its own stream from it.
+    pub seed: u64,
+    /// Passive nodes never issue requests; they only serve protocol
+    /// traffic (e.g. a central coordinator).
+    pub is_active: bool,
+}
+
+/// Run one node to completion over `port`.
+///
+/// # Panics
+/// On any safety violation (monitored exactly like the simulator) and on
+/// protocol contract violations surfaced by the `Allocator` itself.
+pub fn drive_node<A, W, P>(
+    me: NodeId,
+    n: usize,
+    mut proto: A,
+    mut workload: W,
+    mut port: P,
+    shared: &RunShared,
+    cfg: NodeCfg,
+) where
+    A: Allocator,
+    W: Workload,
+    P: NodePort<A::Msg>,
+{
+    // The loop always runs a full request/CS cycle before decrementing, so
+    // a zero quota on an active node would underflow instead of no-opping.
+    assert!(
+        !cfg.is_active || cfg.rounds >= 1,
+        "active node {me} needs a round quota of at least 1"
+    );
+    let mut ctx: Ctx<A::Msg> = Ctx::new(me, n);
+    let mut driver = Driver::new();
+    let mut rng =
+        StdRng::seed_from_u64(cfg.seed ^ (me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+    ctx.set_now(shared.now());
+    proto.on_init(&mut ctx);
+    flush_and_grants(me, &mut ctx, &mut driver, &mut port, shared, &mut None);
+
+    let mut rounds_left = if cfg.is_active { cfg.rounds } else { 0 };
+    // The pending timer: think expiry or CS expiry, depending on state.
+    let mut deadline: Option<Instant> = cfg
+        .is_active
+        .then(|| Instant::now() + workload.think_time(&mut rng).to_std());
+    if !cfg.is_active {
+        driver.park();
+    }
+
+    loop {
+        let event = match deadline {
+            Some(d) => port.recv_deadline(d),
+            None => port.recv(),
+        };
+
+        match event {
+            PortEvent::Shutdown => return,
+            PortEvent::Msg { from, deliver_at, msg } => {
+                let wait = deliver_at.saturating_duration_since(Instant::now());
+                if !wait.is_zero() {
+                    std::thread::sleep(wait);
+                }
+                ctx.set_now(shared.now());
+                proto.on_message(&mut ctx, from, msg);
+                flush_and_grants(me, &mut ctx, &mut driver, &mut port, shared, &mut deadline);
+            }
+            PortEvent::TimedOut => {
+                // Timer fired.
+                match driver.state() {
+                    DriverState::Thinking => {
+                        let set = driver.issue(&mut workload, &mut rng);
+                        lock(&shared.collector).on_issue(me, set, shared.now());
+                        deadline = None; // wait for the grant
+                        ctx.set_now(shared.now());
+                        proto.request(&mut ctx, set);
+                        flush_and_grants(
+                            me,
+                            &mut ctx,
+                            &mut driver,
+                            &mut port,
+                            shared,
+                            &mut deadline,
+                        );
+                    }
+                    DriverState::InCs => {
+                        lock(&shared.collector).on_release(me, shared.now());
+                        lock(&shared.monitor).exit(me);
+                        driver.released();
+                        ctx.set_now(shared.now());
+                        proto.release(&mut ctx);
+                        deadline = None;
+                        flush_and_grants(
+                            me,
+                            &mut ctx,
+                            &mut driver,
+                            &mut port,
+                            shared,
+                            &mut deadline,
+                        );
+                        rounds_left -= 1;
+                        if rounds_left == 0 {
+                            driver.park();
+                            if port.quota_done() {
+                                // Last finisher: shutdown broadcast, exit.
+                                return;
+                            }
+                        } else {
+                            deadline = Some(
+                                Instant::now() + workload.think_time(&mut rng).to_std(),
+                            );
+                        }
+                    }
+                    // Waiting/Parked never arm a timer.
+                    other => unreachable!("timer in state {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+/// Drain the outbox onto the port and turn a grant edge into CS
+/// bookkeeping (+ CS-end timer).
+fn flush_and_grants<M: WireMsg, P: NodePort<M>>(
+    me: NodeId,
+    ctx: &mut Ctx<M>,
+    driver: &mut Driver,
+    port: &mut P,
+    shared: &RunShared,
+    deadline: &mut Option<Instant>,
+) {
+    let out = ctx.take_outbox();
+    if !out.is_empty() {
+        let mut collector = lock(&shared.collector);
+        for (to, msg) in out {
+            collector.on_message(msg.kind(), msg.weight());
+            port.send(to, msg);
+        }
+    }
+    if ctx.take_granted() {
+        let set = driver.current_set();
+        lock(&shared.monitor).enter(me, set);
+        lock(&shared.collector).on_grant(me, shared.now());
+        let cs = driver.granted();
+        *deadline = Some(Instant::now() + cs.to_std());
+    }
+}

@@ -7,23 +7,21 @@
 //! passing — which is what the paper's C++/OpenMPI deployment faced.
 //! Durations are wall-clock: keep them small in tests.
 //!
-//! Each node thread owns its protocol instance and driver and services its
-//! inbox.  Link latency is emulated by stamping each message with a
-//! delivery deadline that the receiver waits out; channel order preserves
-//! per-link FIFO.  The run is quota-based: every active node completes
-//! `rounds` request/CS cycles, then keeps serving protocol traffic until
-//! the last finisher broadcasts shutdown.
+//! The per-node event loop lives in [`crate::runtime`], shared with
+//! `mra-net`'s TCP transport; this module contributes only the mpsc
+//! [`NodePort`] backend.  Link latency is emulated by stamping each message
+//! with a delivery deadline that the receiver waits out; channel order
+//! preserves per-link FIFO.  The run is quota-based: every active node
+//! completes `rounds` request/CS cycles, then keeps serving protocol
+//! traffic until the last finisher broadcasts shutdown.
 
-use crate::driver::{Driver, DriverState, Workload};
-use crate::metrics::{Collector, RunResult};
-use mra_protocol::testkit::SafetyMonitor;
-use mra_protocol::{Allocator, Ctx, WireMsg};
+use crate::driver::Workload;
+use crate::metrics::RunResult;
+use crate::runtime::{drive_node, NodeCfg, NodePort, PortEvent, RunShared};
+use mra_protocol::Allocator;
 use mra_types::{NodeId, Time};
-use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -49,26 +47,61 @@ enum Envelope<M> {
     Shutdown,
 }
 
-struct Shared<M> {
+struct MpscShared<M> {
     senders: Vec<mpsc::Sender<Envelope<M>>>,
-    monitor: Mutex<SafetyMonitor>,
-    collector: Mutex<Collector>,
     /// Active nodes still short of their quota.
     remaining: AtomicUsize,
-    epoch: Instant,
     latency: Time,
 }
 
-/// Lock preserving the old parking_lot semantics: a poisoned mutex (some
-/// node thread already panicked) still yields its data, so the original
-/// panic reaches the joiner instead of a PoisonError cascade.
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
+/// The mpsc channel backend of [`crate::runtime::NodePort`].
+struct MpscPort<M> {
+    me: NodeId,
+    rx: mpsc::Receiver<Envelope<M>>,
+    shared: Arc<MpscShared<M>>,
 }
 
-impl<M> Shared<M> {
-    fn now(&self) -> Time {
-        Time::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+impl<M: Send> NodePort<M> for MpscPort<M> {
+    fn send(&mut self, to: NodeId, msg: M) {
+        let deliver_at = Instant::now() + self.shared.latency.to_std();
+        // A closed channel means the peer is past shutdown: drop silently.
+        let _ = self.shared.senders[to].send(Envelope::Msg {
+            from: self.me,
+            deliver_at,
+            msg,
+        });
+    }
+
+    fn recv(&mut self) -> PortEvent<M> {
+        match self.rx.recv() {
+            Ok(Envelope::Msg { from, deliver_at, msg }) => {
+                PortEvent::Msg { from, deliver_at, msg }
+            }
+            Ok(Envelope::Shutdown) | Err(_) => PortEvent::Shutdown,
+        }
+    }
+
+    fn recv_deadline(&mut self, deadline: Instant) -> PortEvent<M> {
+        let wait = deadline.saturating_duration_since(Instant::now());
+        match self.rx.recv_timeout(wait) {
+            Ok(Envelope::Msg { from, deliver_at, msg }) => {
+                PortEvent::Msg { from, deliver_at, msg }
+            }
+            Ok(Envelope::Shutdown) => PortEvent::Shutdown,
+            Err(RecvTimeoutError::Timeout) => PortEvent::TimedOut,
+            Err(RecvTimeoutError::Disconnected) => PortEvent::Shutdown,
+        }
+    }
+
+    fn quota_done(&mut self) -> bool {
+        if self.shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last finisher: release everyone.
+            for s in &self.shared.senders {
+                let _ = s.send(Envelope::Shutdown);
+            }
+            return true;
+        }
+        false
     }
 }
 
@@ -100,15 +133,12 @@ where
         receivers.push(rx);
     }
 
-    let shared = Arc::new(Shared {
+    let mpsc_shared = Arc::new(MpscShared {
         senders,
-        monitor: Mutex::new(SafetyMonitor::new(n, m)),
-        // Window is clamped to the actual end time by `Collector::finish`.
-        collector: Mutex::new(Collector::new(n, m, (Time::ZERO, Time::from_secs(3600)))),
         remaining: AtomicUsize::new(active),
-        epoch: Instant::now(),
         latency: cfg.latency,
     });
+    let shared = Arc::new(RunShared::new(n, m));
 
     let algo = protos[0].name().to_string();
     let mut handles = Vec::with_capacity(n);
@@ -119,12 +149,20 @@ where
         .enumerate()
     {
         let shared = Arc::clone(&shared);
-        let cfg = cfg.clone();
-        let is_active = i < active;
+        let port = MpscPort {
+            me: i,
+            rx,
+            shared: Arc::clone(&mpsc_shared),
+        };
+        let node_cfg = NodeCfg {
+            rounds: cfg.rounds,
+            seed: cfg.seed,
+            is_active: i < active,
+        };
         handles.push(
             std::thread::Builder::new()
                 .name(format!("mra-node-{i}"))
-                .spawn(move || node_main(i, n, proto, workload, rx, shared, cfg, is_active))
+                .spawn(move || drive_node(i, n, proto, workload, port, &shared, node_cfg))
                 .expect("spawn node thread"),
         );
     }
@@ -140,156 +178,6 @@ where
         .into_inner()
         .unwrap_or_else(|e| e.into_inner())
         .finish(&algo, n, end)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn node_main<A, W>(
-    me: NodeId,
-    n: usize,
-    mut proto: A,
-    mut workload: W,
-    rx: mpsc::Receiver<Envelope<A::Msg>>,
-    shared: Arc<Shared<A::Msg>>,
-    cfg: ThreadedConfig,
-    is_active: bool,
-) where
-    A: Allocator,
-    W: Workload,
-{
-    let mut ctx: Ctx<A::Msg> = Ctx::new(me, n);
-    let mut driver = Driver::new();
-    let mut rng =
-        StdRng::seed_from_u64(cfg.seed ^ (me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-
-    ctx.set_now(shared.now());
-    proto.on_init(&mut ctx);
-    flush_and_grants(me, &mut proto, &mut ctx, &mut driver, &shared, &mut None);
-
-    let mut rounds_left = if is_active { cfg.rounds } else { 0 };
-    // The pending timer: think expiry or CS expiry, depending on state.
-    let mut deadline: Option<Instant> = is_active
-        .then(|| Instant::now() + workload.think_time(&mut rng).to_std());
-    if !is_active {
-        driver.park();
-    }
-
-    loop {
-        let received = match deadline {
-            Some(d) => {
-                let wait = d.saturating_duration_since(Instant::now());
-                match rx.recv_timeout(wait) {
-                    Ok(env) => Some(env),
-                    Err(RecvTimeoutError::Timeout) => None,
-                    Err(RecvTimeoutError::Disconnected) => return,
-                }
-            }
-            None => match rx.recv() {
-                Ok(env) => Some(env),
-                Err(_) => return,
-            },
-        };
-
-        match received {
-            Some(Envelope::Shutdown) => return,
-            Some(Envelope::Msg {
-                from,
-                deliver_at,
-                msg,
-            }) => {
-                let wait = deliver_at.saturating_duration_since(Instant::now());
-                if !wait.is_zero() {
-                    std::thread::sleep(wait);
-                }
-                ctx.set_now(shared.now());
-                proto.on_message(&mut ctx, from, msg);
-                flush_and_grants(me, &mut proto, &mut ctx, &mut driver, &shared, &mut deadline);
-            }
-            None => {
-                // Timer fired.
-                match driver.state() {
-                    DriverState::Thinking => {
-                        let set = driver.issue(&mut workload, &mut rng);
-                        lock(&shared.collector).on_issue(me, set, shared.now());
-                        deadline = None; // wait for the grant
-                        ctx.set_now(shared.now());
-                        proto.request(&mut ctx, set);
-                        flush_and_grants(
-                            me,
-                            &mut proto,
-                            &mut ctx,
-                            &mut driver,
-                            &shared,
-                            &mut deadline,
-                        );
-                    }
-                    DriverState::InCs => {
-                        lock(&shared.collector).on_release(me, shared.now());
-                        lock(&shared.monitor).exit(me);
-                        driver.released();
-                        ctx.set_now(shared.now());
-                        proto.release(&mut ctx);
-                        deadline = None;
-                        flush_and_grants(
-                            me,
-                            &mut proto,
-                            &mut ctx,
-                            &mut driver,
-                            &shared,
-                            &mut deadline,
-                        );
-                        rounds_left -= 1;
-                        if rounds_left == 0 {
-                            driver.park();
-                            if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                                // Last finisher: release everyone.
-                                for s in &shared.senders {
-                                    let _ = s.send(Envelope::Shutdown);
-                                }
-                            }
-                        } else {
-                            deadline = Some(
-                                Instant::now() + workload.think_time(&mut rng).to_std(),
-                            );
-                        }
-                    }
-                    // Waiting/Parked never arm a timer.
-                    other => unreachable!("timer in state {other:?}"),
-                }
-            }
-        }
-    }
-}
-
-/// Drain the outbox onto the channels and turn a grant edge into CS
-/// bookkeeping (+ CS-end timer).
-fn flush_and_grants<A: Allocator>(
-    me: NodeId,
-    _proto: &mut A,
-    ctx: &mut Ctx<A::Msg>,
-    driver: &mut Driver,
-    shared: &Arc<Shared<A::Msg>>,
-    deadline: &mut Option<Instant>,
-) {
-    let out = ctx.take_outbox();
-    if !out.is_empty() {
-        let deliver_at = Instant::now() + shared.latency.to_std();
-        let mut collector = lock(&shared.collector);
-        for (to, msg) in out {
-            collector.on_message(msg.kind(), msg.weight());
-            let _ = shared.senders[to].send(Envelope::Msg {
-                from: me,
-                deliver_at,
-                msg,
-            });
-        }
-    }
-    if ctx.take_granted() {
-        let set = driver.current_set();
-        lock(&shared.monitor).enter(me, set);
-        lock(&shared.collector).on_grant(me, shared.now());
-        let cs = driver.granted();
-        *deadline = Some(Instant::now() + cs.to_std());
-    }
 }
 
 #[cfg(test)]

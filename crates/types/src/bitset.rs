@@ -190,6 +190,20 @@ impl BitSet256 {
     pub fn to_vec(&self) -> Vec<usize> {
         self.iter().collect()
     }
+
+    /// The raw 4-word representation (little-endian word order: word 0
+    /// holds elements `0..64`).  Used by wire codecs; every `[u64; 4]` is a
+    /// valid set, so [`BitSet256::from_words`] is total.
+    #[inline]
+    pub const fn to_words(self) -> [u64; WORDS] {
+        self.words
+    }
+
+    /// Rebuild a set from its raw word representation.
+    #[inline]
+    pub const fn from_words(words: [u64; WORDS]) -> Self {
+        BitSet256 { words }
+    }
 }
 
 impl FromIterator<usize> for BitSet256 {
@@ -332,6 +346,14 @@ mod tests {
         let collected: Vec<usize> = s.iter().collect();
         assert_eq!(collected, elems);
         assert_eq!(s.iter().len(), elems.len());
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let s: BitSet256 = [0usize, 63, 64, 200, 255].into_iter().collect();
+        assert_eq!(BitSet256::from_words(s.to_words()), s);
+        assert_eq!(BitSet256::from_words([0; 4]), BitSet256::EMPTY);
+        assert_eq!(BitSet256::from_words([u64::MAX; 4]), BitSet256::full(256));
     }
 
     #[test]

@@ -13,8 +13,11 @@
 //! * [`baselines`] — incremental locking, Bouabdallah–Laforest, the
 //!   shared-memory ("central") scheduler and the Maddi broadcast algorithm.
 //! * [`mutex`] — Naimi-Trehel and Suzuki-Kasami single-resource substrates.
-//! * [`protocol`] — the engine-independent `Allocator` interface and a
-//!   randomized virtual network for testing.
+//! * [`net`] — the real TCP transport: wire framing, the full-socket mesh,
+//!   the loopback cluster harness and the solo node runtime behind the
+//!   `mra-node` binary.
+//! * [`protocol`] — the engine-independent `Allocator` interface, the
+//!   binary wire codec and a randomized virtual network for testing.
 //! * [`sim`] — the deterministic discrete-event simulator, workload driver,
 //!   metrics, Gantt tracing and the threaded runtime.
 //! * [`workloads`] — the paper's workload model and experiment harness.
@@ -42,6 +45,7 @@
 pub use mra_baselines as baselines;
 pub use mra_core as core;
 pub use mra_mutex as mutex;
+pub use mra_net as net;
 pub use mra_protocol as protocol;
 pub use mra_sim as sim;
 pub use mra_types as types;

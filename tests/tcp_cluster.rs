@@ -1,0 +1,96 @@
+//! Wire-level integration: an 8-node loopback cluster over **real TCP**
+//! completes its round quota with zero safety violations, for LASS and for
+//! a baseline.  A safety violation panics inside the shared
+//! `SafetyMonitor` (same checker as every other substrate), so plain
+//! completion is the assertion.
+//!
+//! Honors `MRA_FAST=1` by shrinking the per-node round quota.
+
+use mra::baselines::BouabdallahLaforest;
+use mra::core::LassConfig;
+use mra::net::{run_tcp_cluster, TcpClusterConfig};
+use mra::sim::FixedWorkload;
+use mra::types::Time;
+
+const N: usize = 8;
+const M: usize = 16;
+
+/// Per-node round quota: `MRA_FAST` (the CI knob that shrinks every
+/// workload in the workspace) quarters it.
+fn rounds() -> usize {
+    let fast = std::env::var("MRA_FAST").is_ok_and(|v| !v.is_empty() && v != "0");
+    if fast {
+        3
+    } else {
+        12
+    }
+}
+
+fn workloads() -> Vec<FixedWorkload> {
+    (0..N)
+        .map(|_| FixedWorkload {
+            think: Time::from_micros(300),
+            cs: Time::from_micros(500),
+            m: M,
+            size: 3,
+        })
+        .collect()
+}
+
+#[test]
+fn lass_8_node_cluster_over_tcp() {
+    let rounds = rounds();
+    let cfg = LassConfig::with_loan(N, M);
+    let res = run_tcp_cluster(
+        cfg.build_nodes(),
+        workloads(),
+        M,
+        TcpClusterConfig::new(rounds, 0xC0FF_EE00),
+    );
+    assert_eq!(res.algo, "lass+loan");
+    assert_eq!(res.cs_completed, (N * rounds) as u64);
+    assert_eq!(res.censored, 0);
+    assert_eq!(res.wait_stats().count, N * rounds);
+    // Real traffic flowed: LASS needs counters and tokens for remote sets.
+    assert!(res.msgs_total > 0, "no messages crossed the wire");
+}
+
+#[test]
+fn bouabdallah_laforest_8_node_cluster_over_tcp() {
+    let rounds = rounds();
+    let res = run_tcp_cluster(
+        BouabdallahLaforest::build_nodes(N, M),
+        workloads(),
+        M,
+        TcpClusterConfig::new(rounds, 0xBEEF),
+    );
+    assert_eq!(res.cs_completed, (N * rounds) as u64);
+    assert_eq!(res.censored, 0);
+    // The control token alone costs messages every cycle.
+    assert!(res.msgs_per_cs() >= 1.0);
+}
+
+#[test]
+fn lass_handles_emulated_wan_latency_over_tcp() {
+    // A short run with 1 ms of artificial one-way latency stacked on the
+    // loopback wire: still exact quota, still violation-free.
+    let cfg = LassConfig::with_loan(4, 8);
+    let res = run_tcp_cluster(
+        cfg.build_nodes(),
+        (0..4)
+            .map(|_| FixedWorkload {
+                think: Time::from_micros(200),
+                cs: Time::from_micros(400),
+                m: 8,
+                size: 2,
+            })
+            .collect(),
+        8,
+        TcpClusterConfig {
+            extra_latency: Time::from_millis(1),
+            ..TcpClusterConfig::new(3, 42)
+        },
+    );
+    assert_eq!(res.cs_completed, 12);
+    assert_eq!(res.censored, 0);
+}
