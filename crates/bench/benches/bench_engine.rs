@@ -1,0 +1,132 @@
+//! `bench_engine` — the tracked simulator-throughput benchmark.
+//!
+//! Measures raw engine **events per wall-clock second** for representative
+//! scenarios of the paper's evaluation (LASS with loan, LASS without loan,
+//! Bouabdallah–Laforest, Incremental at the paper's 32×80 shape) and
+//! writes the numbers to `BENCH_engine.json` at the repo root, so the
+//! ROADMAP's perf trajectory has a recorded data point per commit that
+//! touches the hot path.
+//!
+//! Each measurement is a single-threaded `Sim::run` — `MRA_THREADS` is
+//! irrelevant here by construction, which is exactly what makes the number
+//! comparable across machines with different core counts.  `MRA_FAST=1`
+//! (CI) shrinks the simulated window; the metric is a *rate*, so shorter
+//! windows shift it only by warmup amortization.
+//!
+//! ```text
+//! cargo bench -p mra-bench --bench bench_engine
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mra_bench::{write_bench_engine_json, EngineBenchEntry};
+use mra_workloads::experiments::measure_secs_or;
+use mra_workloads::{run, Algorithm, Load, Scenario};
+
+/// The measured grid: paper shape (N = 32, M = 80), high load, φ = 16 —
+/// mid-grid, where Fig. 5's curves separate — plus a φ = 4 BL point
+/// matching Fig. 6's configuration.
+fn points() -> Vec<(Algorithm, usize, &'static str)> {
+    vec![
+        (Algorithm::LassLoan, 16, "lass_loan_32n80m_phi16_high"),
+        (Algorithm::LassNoLoan, 16, "lass_noloan_32n80m_phi16_high"),
+        (Algorithm::BouabdallahLaforest, 16, "bl_32n80m_phi16_high"),
+        (Algorithm::BouabdallahLaforest, 4, "bl_32n80m_phi4_high"),
+        (Algorithm::Incremental, 16, "incremental_32n80m_phi16_high"),
+    ]
+}
+
+fn scenario(phi: usize, secs: f64) -> Scenario {
+    Scenario::builder()
+        .load(Load::High)
+        .max_request_size(phi)
+        .seed(42)
+        .measure_secs(secs)
+        .build()
+}
+
+/// Measurement policy for the tracked file: the simulation is
+/// deterministic (identical events every repeat), so the *minimum* wall
+/// time across repeats is the least-noise estimate of engine cost —
+/// single samples of sub-millisecond runs swing by 50%+ under scheduler
+/// jitter.  Repeat until at least [`MIN_REPEATS`] runs *and*
+/// [`MIN_TOTAL_WALL_NS`] of accumulated measurement, whichever takes
+/// longer, capped at [`MAX_REPEATS`].
+const MIN_REPEATS: usize = 5;
+const MAX_REPEATS: usize = 200;
+const MIN_TOTAL_WALL_NS: u64 = 50_000_000; // 50 ms
+
+fn measure(algo: Algorithm, phi: usize, label: &str, secs: f64) -> EngineBenchEntry {
+    let mut best: Option<mra_sim::RunResult> = None;
+    let mut total_wall_ns = 0u64;
+    for rep in 0..MAX_REPEATS {
+        let res = run(algo, &scenario(phi, secs));
+        total_wall_ns += res.wall_ns;
+        let better = match &best {
+            None => true,
+            Some(b) => res.wall_ns < b.wall_ns,
+        };
+        if better {
+            best = Some(res);
+        }
+        if rep + 1 >= MIN_REPEATS && total_wall_ns >= MIN_TOTAL_WALL_NS {
+            break;
+        }
+    }
+    let res = best.expect("at least one repeat");
+    EngineBenchEntry {
+        scenario: label.to_string(),
+        algo: res.algo.clone(),
+        events: res.events_processed,
+        wall_secs: res.wall_ns as f64 / 1e9,
+        events_per_sec: res.events_per_sec(),
+        cs_completed: res.cs_completed,
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let secs = measure_secs_or(2.0);
+
+    // One recorded pass per point for the tracked JSON (sequential, so
+    // measurements never contend for cores), then Criterion timings of the
+    // same scenarios for local ns/iter comparisons.
+    let entries: Vec<EngineBenchEntry> = points()
+        .iter()
+        .map(|&(algo, phi, label)| measure(algo, phi, label, secs))
+        .collect();
+
+    println!("engine throughput ({secs}s simulated window per run):");
+    for e in &entries {
+        println!(
+            "  {:<32} {:>12.0} events/s  ({} events, {} cs, {:.3}s wall)",
+            e.scenario, e.events_per_sec, e.events, e.cs_completed, e.wall_secs
+        );
+    }
+    // Criterion's `--test` smoke mode (what `cargo test --benches` passes)
+    // must not clobber the tracked file with throwaway numbers.
+    if std::env::args().any(|a| a == "--test") {
+        println!("[json] --test smoke mode: BENCH_engine.json left untouched");
+    } else {
+        let mode = if secs < 2.0 { "fast" } else { "full" };
+        match write_bench_engine_json(&entries, mode) {
+            Ok(path) => println!("[json] wrote {}", path.display()),
+            // Fail the process: a swallowed error would let CI validate a
+            // stale committed copy instead of the fresh file.
+            Err(e) => panic!("[json] FAILED to write BENCH_engine.json: {e}"),
+        }
+    }
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for (algo, phi, label) in points() {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let res = run(algo, &scenario(phi, 0.5));
+                std::hint::black_box(res.events_processed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Pure-engine throughput: [`EchoProbe`] has near-zero handler cost, so
+//! the measurement is the event loop itself (queue, outbox drain, latency
+//! sampling, metrics accounting).  This is the engine *ceiling*; compare
+//! against `engine_micro`'s `sim/…` case (protocol-bound floor) to decide
+//! whether an optimization should target the engine or the algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mra_protocol::testkit::EchoProbe;
+use mra_sim::{FixedWorkload, LatencyModel, Sim, SimConfig};
+use mra_types::Time;
+
+fn bench_floor(c: &mut Criterion) {
+    c.bench_function("engine_floor/echo_16n_5ms", |b| {
+        b.iter(|| {
+            let protos: Vec<EchoProbe> = (0..16).map(|me| EchoProbe::new(me, 4)).collect();
+            let workloads: Vec<FixedWorkload> = (0..16)
+                .map(|_| FixedWorkload {
+                    think: Time::from_millis(1),
+                    cs: Time::from_millis(1),
+                    m: 4,
+                    size: 1,
+                })
+                .collect();
+            let mut cfg = SimConfig::quick(3);
+            cfg.latency = LatencyModel::Constant(Time::from_micros(1));
+            cfg.warmup = Time::ZERO;
+            cfg.measure = Time::from_millis(5);
+            cfg.drain = Time::ZERO;
+            cfg.active_nodes = Some(0);
+            let res = Sim::new(protos, workloads, 4, cfg).run();
+            std::hint::black_box(res.msgs_total)
+        })
+    });
+}
+
+criterion_group!(benches, bench_floor);
+criterion_main!(benches);

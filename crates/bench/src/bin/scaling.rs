@@ -10,7 +10,7 @@
 
 use mra_bench::save_csv;
 use mra_workloads::experiments::measure_secs_default;
-use mra_workloads::{run, Algorithm, Load, Scenario, Table};
+use mra_workloads::{pool, run, Algorithm, Load, Scenario, Table};
 
 fn main() {
     let secs = measure_secs_default();
@@ -18,6 +18,7 @@ fn main() {
         "Scaling sweep (phi = 4, high load, M = 2.5N)",
         &["N", "M", "algorithm", "use rate [%]", "mean wait [ms]", "msgs/cs"],
     );
+    let mut grid = Vec::new();
     for n in [8usize, 16, 32, 64] {
         let m = n * 5 / 2;
         for algo in [
@@ -25,24 +26,32 @@ fn main() {
             Algorithm::LassLoan,
             Algorithm::Maddi,
         ] {
-            let sc = Scenario::builder()
-                .nodes(n)
-                .resources(m)
-                .max_request_size(4)
-                .load(Load::High)
-                .seed(42)
-                .measure_secs(secs)
-                .build();
-            let res = run(algo, &sc);
-            t.row(vec![
-                n.to_string(),
-                m.to_string(),
-                algo.label().into(),
-                format!("{:.1}", 100.0 * res.use_rate()),
-                format!("{:.1}", res.wait_stats().mean_ms),
-                format!("{:.1}", res.msgs_per_cs()),
-            ]);
+            grid.push((n, m, algo));
         }
+    }
+    // The grid points are independent seeded simulations: fan them across
+    // MRA_THREADS workers, rows come back in input order.
+    let rows = pool::sweep(grid, |(n, m, algo)| {
+        let sc = Scenario::builder()
+            .nodes(n)
+            .resources(m)
+            .max_request_size(4)
+            .load(Load::High)
+            .seed(42)
+            .measure_secs(secs)
+            .build();
+        let res = run(algo, &sc);
+        vec![
+            n.to_string(),
+            m.to_string(),
+            algo.label().into(),
+            format!("{:.1}", 100.0 * res.use_rate()),
+            format!("{:.1}", res.wait_stats().mean_ms),
+            format!("{:.1}", res.msgs_per_cs()),
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     println!("{}", t.render());
     save_csv(&t, "scaling.csv");

@@ -29,3 +29,72 @@ pub fn save_csv(table: &mra_workloads::Table, name: &str) {
         Err(e) => eprintln!("[csv] FAILED to write {}: {e}", path.display()),
     }
 }
+
+/// The workspace root (two levels above this crate's manifest) — where the
+/// tracked `BENCH_*.json` perf-trajectory files live.
+pub fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+/// One engine-throughput measurement of the `bench_engine` target.
+#[derive(Clone, Debug)]
+pub struct EngineBenchEntry {
+    /// Scenario label (shape + φ + load), e.g. `lass_loan_32n80m_phi16_high`.
+    pub scenario: String,
+    /// Algorithm name as reported by the run.
+    pub algo: String,
+    /// Simulator events processed.
+    pub events: u64,
+    /// Wall-clock seconds of the run.
+    pub wall_secs: f64,
+    /// The tracked metric: events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Critical sections completed (sanity that the run did real work).
+    pub cs_completed: u64,
+}
+
+/// Serialize `entries` as `BENCH_engine.json` at the repo root (the
+/// tracked perf-trajectory data point) and return the path written.
+///
+/// Hand-rolled JSON: the offline build environment has no serde, and the
+/// schema is flat.  Labels are ASCII identifiers, so escaping only needs
+/// quotes and backslashes.
+pub fn write_bench_engine_json(
+    entries: &[EngineBenchEntry],
+    mode: &str,
+) -> std::io::Result<PathBuf> {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    fn num(v: f64, decimals: usize) -> String {
+        // JSON has no NaN/Infinity; clamp degenerate measurements to 0.
+        if v.is_finite() {
+            format!("{v:.decimals$}")
+        } else {
+            "0.0".into()
+        }
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"bench_engine\",\n");
+    out.push_str("  \"unit\": \"events_per_sec\",\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", esc(mode)));
+    out.push_str("  \"results\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"algo\": \"{}\", \"events\": {}, \
+             \"wall_secs\": {}, \"events_per_sec\": {}, \"cs_completed\": {}}}{}\n",
+            esc(&e.scenario),
+            esc(&e.algo),
+            e.events,
+            num(e.wall_secs, 4),
+            num(e.events_per_sec, 1),
+            e.cs_completed,
+            if i + 1 < entries.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = repo_root().join("BENCH_engine.json");
+    std::fs::write(&path, out)?;
+    Ok(path)
+}

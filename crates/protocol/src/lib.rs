@@ -157,9 +157,32 @@ impl<M> Ctx<M> {
     }
 
     /// Engine-side: drain the queued outgoing messages in send order.
+    ///
+    /// Allocates a fresh `Vec` per call; engine hot loops should prefer
+    /// [`Ctx::drain_outbox_into`], which reuses a caller-owned buffer.
     #[inline]
     pub fn take_outbox(&mut self) -> Vec<(NodeId, M)> {
         std::mem::take(&mut self.outbox)
+    }
+
+    /// Engine-side: move the queued outgoing messages into `buf` in send
+    /// order, leaving the internal outbox empty but with its capacity
+    /// intact.  Steady-state dispatch thus performs no heap allocation
+    /// once both buffers are warm.  For engines whose send path does not
+    /// need the `Ctx` borrow released, [`Ctx::drain_outbox`] avoids even
+    /// the buffer hand-off.
+    #[inline]
+    pub fn drain_outbox_into(&mut self, buf: &mut Vec<(NodeId, M)>) {
+        buf.append(&mut self.outbox);
+    }
+
+    /// Engine-side: drain the queued outgoing messages in place, in send
+    /// order.  The outbox itself is the reused buffer — its capacity
+    /// survives the drain — so this is the cheapest dispatch path: no
+    /// allocation, no copy into a side buffer.
+    #[inline]
+    pub fn drain_outbox(&mut self) -> std::vec::Drain<'_, (NodeId, M)> {
+        self.outbox.drain(..)
     }
 
     /// True if there are buffered outgoing messages (test helper).
@@ -224,6 +247,39 @@ mod tests {
         let out = ctx.take_outbox();
         assert_eq!(out.iter().map(|(to, _)| *to).collect::<Vec<_>>(), vec![1, 2, 1]);
         assert!(!ctx.has_output());
+    }
+
+    #[test]
+    fn drain_into_reuses_buffer_and_keeps_capacity() {
+        let mut ctx: Ctx<Ping> = Ctx::new(0, 3);
+        let mut buf: Vec<(usize, Ping)> = Vec::new();
+        ctx.send(1, Ping);
+        ctx.send(2, Ping);
+        ctx.drain_outbox_into(&mut buf);
+        assert_eq!(buf.iter().map(|(to, _)| *to).collect::<Vec<_>>(), vec![1, 2]);
+        assert!(!ctx.has_output());
+        let outbox_cap = ctx.outbox.capacity();
+        assert!(outbox_cap >= 2, "drained outbox must keep its capacity");
+        buf.clear();
+        // Second round: neither side needs to grow again.
+        ctx.send(2, Ping);
+        ctx.drain_outbox_into(&mut buf);
+        assert_eq!(ctx.outbox.capacity(), outbox_cap);
+        assert_eq!(buf.len(), 1);
+        assert!(buf.capacity() >= 2);
+    }
+
+    #[test]
+    fn drain_outbox_iterates_in_send_order_and_keeps_capacity() {
+        let mut ctx: Ctx<Ping> = Ctx::new(0, 4);
+        ctx.send(1, Ping);
+        ctx.send(3, Ping);
+        ctx.send(2, Ping);
+        let cap = ctx.outbox.capacity();
+        let to: Vec<usize> = ctx.drain_outbox().map(|(t, _)| t).collect();
+        assert_eq!(to, vec![1, 3, 2]);
+        assert!(!ctx.has_output());
+        assert_eq!(ctx.outbox.capacity(), cap);
     }
 
     #[test]

@@ -87,6 +87,68 @@ impl SafetyMonitor {
     }
 }
 
+/// Fixed-size message of the [`EchoProbe`] pseudo-protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct EchoPing(pub u64);
+
+impl crate::WireMsg for EchoPing {
+    fn kind(&self) -> &'static str {
+        "Ping"
+    }
+}
+
+/// A minimal message-driven state machine for engine probes: node 0 seeds
+/// `fan` pings per peer on init, and every node echoes whatever it
+/// receives back to the sender.  It never requests and never grants, so
+/// an engine driving it with no active workload processes a pure stream
+/// of message deliveries — the measurement surface for the engine-floor
+/// benchmark and the zero-allocation dispatch guard.
+pub struct EchoProbe {
+    me: NodeId,
+    fan: u64,
+}
+
+impl EchoProbe {
+    /// One probe node; node 0 starts `fan` balls per peer.
+    pub fn new(me: NodeId, fan: u64) -> Self {
+        EchoProbe { me, fan }
+    }
+}
+
+impl Allocator for EchoProbe {
+    type Msg = EchoPing;
+
+    fn on_init(&mut self, ctx: &mut Ctx<EchoPing>) {
+        if self.me == 0 {
+            for peer in 1..ctx.n_nodes() {
+                for k in 0..self.fan {
+                    ctx.send(peer, EchoPing(k));
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<EchoPing>, from: NodeId, msg: EchoPing) {
+        ctx.send(from, EchoPing(msg.0 + 1));
+    }
+
+    fn request(&mut self, _ctx: &mut Ctx<EchoPing>, _resources: ResourceSet) {
+        unreachable!("probe nodes never request");
+    }
+
+    fn release(&mut self, _ctx: &mut Ctx<EchoPing>) {
+        unreachable!("probe nodes never release");
+    }
+
+    fn state(&self) -> ProcState {
+        ProcState::Idle
+    }
+
+    fn name(&self) -> &'static str {
+        "echo-probe"
+    }
+}
+
 /// Per-node bookkeeping inside the virtual network.
 struct Slot<A: Allocator> {
     proto: A,
@@ -276,9 +338,12 @@ impl<A: Allocator> VirtualNet<A> {
     }
 
     fn flush_outbox(&mut self, i: NodeId) {
-        let out = self.slots[i].ctx.take_outbox();
-        for (to, msg) in out {
-            self.links[i * self.n + to].push_back(msg);
+        // Disjoint field borrows: the outbox drains in place while the
+        // link queues are appended — no per-dispatch allocation.
+        let slot = &mut self.slots[i];
+        let links = &mut self.links;
+        for (to, msg) in slot.ctx.drain_outbox() {
+            links[i * self.n + to].push_back(msg);
         }
     }
 }

@@ -56,10 +56,34 @@ impl LatencyModel {
         }
     }
 
-    /// Sample the latency for one message.
-    pub fn sample(&self, src: NodeId, dst: NodeId, rng: &mut StdRng) -> Time {
+    /// The latency of one `src → dst` message when this model needs no
+    /// randomness: `Constant`, `Zero` and `Hierarchical` are pure functions
+    /// of the endpoints, so engines can skip borrowing (and advancing) the
+    /// network RNG entirely — the fast path for the paper's γ = const
+    /// scenarios.  Returns `None` for jittered models.
+    #[inline]
+    pub fn sample_deterministic(&self, src: NodeId, dst: NodeId) -> Option<Time> {
         match self {
-            LatencyModel::Constant(t) => *t,
+            LatencyModel::Constant(t) => Some(*t),
+            LatencyModel::Zero => Some(Time::ZERO),
+            LatencyModel::Hierarchical {
+                cluster,
+                intra,
+                inter,
+            } => Some(if cluster[src] == cluster[dst] { *intra } else { *inter }),
+            LatencyModel::Uniform { .. } => None,
+        }
+    }
+
+    /// Sample the latency for one message.  Deterministic models never
+    /// touch `rng` (see [`Self::sample_deterministic`]), so the RNG stream
+    /// — and therefore every downstream draw — is identical whichever
+    /// entry point an engine uses.
+    pub fn sample(&self, src: NodeId, dst: NodeId, rng: &mut StdRng) -> Time {
+        if let Some(t) = self.sample_deterministic(src, dst) {
+            return t;
+        }
+        match self {
             LatencyModel::Uniform { lo, hi } => {
                 debug_assert!(lo <= hi);
                 let span = hi.as_nanos() - lo.as_nanos();
@@ -69,18 +93,14 @@ impl LatencyModel {
                     Time::from_nanos(lo.as_nanos() + rng.gen_range(0..=span))
                 }
             }
-            LatencyModel::Hierarchical {
-                cluster,
-                intra,
-                inter,
-            } => {
-                if cluster[src] == cluster[dst] {
-                    *intra
-                } else {
-                    *inter
-                }
+            // Named so a new variant fails to compile here instead of
+            // panicking at runtime: the author must decide which path
+            // serves it.
+            LatencyModel::Constant(_)
+            | LatencyModel::Zero
+            | LatencyModel::Hierarchical { .. } => {
+                unreachable!("deterministic models are handled above")
             }
-            LatencyModel::Zero => Time::ZERO,
         }
     }
 }
@@ -128,5 +148,35 @@ mod tests {
     fn zero_is_free() {
         let mut rng = StdRng::seed_from_u64(4);
         assert_eq!(LatencyModel::Zero.sample(0, 5, &mut rng), Time::ZERO);
+    }
+
+    #[test]
+    fn deterministic_models_agree_with_sample_and_skip_the_rng() {
+        use rand::RngCore;
+        let models = [
+            LatencyModel::paper_lan(),
+            LatencyModel::Zero,
+            LatencyModel::two_clusters(4, 2, Time::from_micros(100), Time::from_millis(5)),
+        ];
+        for model in models {
+            for (src, dst) in [(0, 1), (1, 2), (2, 3)] {
+                let mut rng = StdRng::seed_from_u64(17);
+                let untouched = rng.clone();
+                let sampled = model.sample(src, dst, &mut rng);
+                assert_eq!(model.sample_deterministic(src, dst), Some(sampled));
+                // The fast path must leave the RNG stream exactly where it
+                // was: same next draw as a clone that never sampled.
+                assert_eq!(
+                    rng.next_u64(),
+                    untouched.clone().next_u64(),
+                    "sample() advanced the RNG for a deterministic model"
+                );
+            }
+        }
+        let jitter = LatencyModel::Uniform {
+            lo: Time::from_micros(10),
+            hi: Time::from_micros(20),
+        };
+        assert_eq!(jitter.sample_deterministic(0, 1), None);
     }
 }

@@ -80,13 +80,21 @@ pub struct RunResult {
     pub msgs_total: u64,
     /// Total message weight (approximate ints on the wire).
     pub msg_weight: u64,
-    /// Message count by kind.
+    /// Message count by kind, in canonical (sorted-by-kind) order so the
+    /// aggregation is independent of message arrival order.
     pub msg_by_kind: Vec<(&'static str, u64)>,
     /// Critical sections completed inside the window.
     pub cs_completed: u64,
     /// Requests issued in the window but never granted before the run end
     /// (censored: excluded from waiting-time stats, reported for honesty).
     pub censored: u64,
+    /// Engine events processed over the whole run (simulator runs only;
+    /// zero under the threaded/TCP runtimes, which have no event loop).
+    pub events_processed: u64,
+    /// Wall-clock nanoseconds the engine spent executing the run (again
+    /// simulator-only).  Purely observational: it never feeds back into
+    /// the simulation, so determinism is unaffected.
+    pub wall_ns: u64,
 }
 
 impl RunResult {
@@ -140,6 +148,16 @@ impl RunResult {
             lo = hi + 1;
         }
         out
+    }
+
+    /// Simulator throughput in events per wall-clock second — the tracked
+    /// engine-performance metric (`BENCH_engine.json`).  Zero when the run
+    /// recorded no wall time (non-simulator engines).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.events_processed as f64 * 1e9 / self.wall_ns as f64
     }
 
     /// Messages per completed critical section (message complexity proxy).
@@ -233,12 +251,39 @@ impl Collector {
     }
 
     /// A message was delivered.
+    ///
+    /// This runs once per simulated message, so the kind table is kept
+    /// move-to-front with a pointer-compare fast path: message kinds are
+    /// `&'static str` literals, so the leading entries almost always match
+    /// by address alone (kinds arrive in long runs and few protocols have
+    /// more than ~6 kinds).  Byte comparison is only the fallback for the
+    /// rare case of equal literals at distinct addresses across codegen
+    /// units.  The top *two* entries are hot without reshuffling —
+    /// request/token-style protocols alternate between two kinds, and
+    /// promoting on every alternation would swap per message — deeper hits
+    /// move to the front.
     pub fn on_message(&mut self, kind: &'static str, weight: usize) {
         self.msgs_total += 1;
         self.msg_weight += weight as u64;
-        match self.msg_by_kind.iter_mut().find(|(k, _)| *k == kind) {
-            Some((_, c)) => *c += 1,
-            None => self.msg_by_kind.push((kind, 1)),
+        let same = |k: &'static str| {
+            (std::ptr::eq(k.as_ptr(), kind.as_ptr()) && k.len() == kind.len()) || k == kind
+        };
+        for (k, c) in self.msg_by_kind.iter_mut().take(2) {
+            if same(k) {
+                *c += 1;
+                return;
+            }
+        }
+        match self.msg_by_kind.iter().skip(2).position(|(k, _)| same(k)) {
+            Some(i) => {
+                self.msg_by_kind[i + 2].1 += 1;
+                self.msg_by_kind.swap(0, i + 2);
+            }
+            None => {
+                self.msg_by_kind.push((kind, 1));
+                let last = self.msg_by_kind.len() - 1;
+                self.msg_by_kind.swap(0, last);
+            }
         }
     }
 
@@ -284,6 +329,10 @@ impl Collector {
             }
         }
         debug_assert_eq!(self.busy.len(), self.m);
+        // Canonical kind order: move-to-front reshuffles the table by
+        // arrival pattern, so sort once here to make the reported
+        // aggregation independent of message order.
+        self.msg_by_kind.sort_unstable_by(|a, b| a.0.cmp(b.0));
         RunResult {
             algo: algo.to_string(),
             n,
@@ -296,6 +345,8 @@ impl Collector {
             msg_by_kind: self.msg_by_kind,
             cs_completed: self.cs_completed,
             censored,
+            events_processed: 0,
+            wall_ns: 0,
         }
     }
 }
@@ -387,5 +438,53 @@ mod tests {
         assert_eq!(res.msgs_total, 3);
         assert_eq!(res.msg_weight, 6);
         assert_eq!(res.msg_by_kind, vec![("A", 2), ("B", 1)]);
+    }
+
+    #[test]
+    fn kind_aggregation_is_order_independent() {
+        // Same multiset of messages in three different arrival orders (the
+        // third alternates, defeating any move-to-front locality) must
+        // produce the identical reported table.
+        let orders: [&[&'static str]; 3] = [
+            &["Req", "Req", "Tok", "Cnt", "Tok", "Req"],
+            &["Cnt", "Tok", "Tok", "Req", "Req", "Req"],
+            &["Tok", "Req", "Cnt", "Req", "Tok", "Req"],
+        ];
+        let mut results = orders.iter().map(|order| {
+            let mut c = Collector::new(1, 1, (t(0), t(10)));
+            for kind in *order {
+                c.on_message(kind, 1);
+            }
+            c.finish("x", 1, t(10)).msg_by_kind
+        });
+        let first = results.next().unwrap();
+        assert_eq!(first, vec![("Cnt", 1), ("Req", 3), ("Tok", 2)]);
+        for other in results {
+            assert_eq!(first, other);
+        }
+    }
+
+    #[test]
+    fn kind_table_survives_duplicate_literals_at_distinct_addresses() {
+        // Simulate two &'static strs with equal bytes but (potentially)
+        // different addresses: a leaked String cannot alias the literal.
+        let leaked: &'static str = Box::leak(String::from("A").into_boxed_str());
+        let mut c = Collector::new(1, 1, (t(0), t(10)));
+        c.on_message("A", 1);
+        c.on_message(leaked, 1);
+        c.on_message("B", 1);
+        c.on_message("A", 1);
+        let res = c.finish("x", 1, t(10));
+        assert_eq!(res.msg_by_kind, vec![("A", 3), ("B", 1)]);
+    }
+
+    #[test]
+    fn events_per_sec_requires_wall_time() {
+        let c = Collector::new(1, 1, (t(0), t(10)));
+        let mut res = c.finish("x", 1, t(10));
+        assert_eq!(res.events_per_sec(), 0.0);
+        res.events_processed = 2_000;
+        res.wall_ns = 1_000_000; // 1 ms
+        assert!((res.events_per_sec() - 2_000_000.0).abs() < 1e-6);
     }
 }

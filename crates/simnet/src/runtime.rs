@@ -231,7 +231,8 @@ pub fn drive_node<A, W, P>(
 }
 
 /// Drain the outbox onto the port and turn a grant edge into CS
-/// bookkeeping (+ CS-end timer).
+/// bookkeeping (+ CS-end timer).  The outbox drains in place (its
+/// capacity is the reused buffer), under one collector lock per burst.
 fn flush_and_grants<M: WireMsg, P: NodePort<M>>(
     me: NodeId,
     ctx: &mut Ctx<M>,
@@ -240,10 +241,9 @@ fn flush_and_grants<M: WireMsg, P: NodePort<M>>(
     shared: &RunShared,
     deadline: &mut Option<Instant>,
 ) {
-    let out = ctx.take_outbox();
-    if !out.is_empty() {
+    if ctx.has_output() {
         let mut collector = lock(&shared.collector);
-        for (to, msg) in out {
+        for (to, msg) in ctx.drain_outbox() {
             collector.on_message(msg.kind(), msg.weight());
             port.send(to, msg);
         }

@@ -19,8 +19,7 @@ use mra_protocol::{Allocator, Ctx, WireMsg};
 use mra_types::{NodeId, Time};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::time::Instant;
 
 /// Simulation parameters.
 #[derive(Clone, Debug)]
@@ -65,27 +64,143 @@ enum Ev<M> {
     CsEnd { node: NodeId },
 }
 
-struct Scheduled<M> {
+/// Compact heap entry: the `(at, seq)` ordering key plus the slab slot
+/// holding the event payload, packed into 16 bytes.  The heap sifts these
+/// small `Copy` keys on every push/pop while the (potentially large)
+/// `Ev<M>` payloads stay put in the slab — `Scheduled<M>` used to drag
+/// whole protocol messages through every sift.
+///
+/// `ord = seq << SLOT_BITS | slot`: `seq` is unique per push, so the
+/// derived lexicographic `(at, ord)` order equals the engine's `(at, seq)`
+/// tie-breaking order and the slot bits never influence a comparison.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EvKey {
     at: Time,
-    seq: u64,
-    ev: Ev<M>,
+    ord: u64,
 }
 
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+/// Slot index width inside [`EvKey::ord`]: up to 16 M in-flight events
+/// (a 32×80 paper run peaks at a few thousand) and 2^40 total pushes
+/// (`max_events` caps runs far below that).
+const SLOT_BITS: u32 = 24;
+
+impl EvKey {
+    #[inline]
+    fn new(at: Time, seq: u64, slot: u32) -> Self {
+        // Hard assert: `max_events` is a user-settable config field, and a
+        // silent wrap into the slot bits would corrupt the event order.
+        assert!(seq < 1 << (64 - SLOT_BITS), "event seq overflow");
+        EvKey {
+            at,
+            ord: (seq << SLOT_BITS) | u64::from(slot),
+        }
+    }
+
+    #[inline]
+    fn slot(self) -> u32 {
+        (self.ord & ((1 << SLOT_BITS) - 1)) as u32
     }
 }
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// The simulator's event queue: a 4-ary min-heap of packed [`EvKey`]s over
+/// a free-list slab of event payloads.
+///
+/// 4-ary because sift-down dominates a discrete-event workload (every pop
+/// sifts, pushes often stop early): halving the tree depth trades two
+/// extra (adjacent, same-cache-line) comparisons per level for half the
+/// memory moves, and the hole-based sift moves each 16-byte key once
+/// instead of swapping.  In steady state (constant event population) every
+/// push reuses a freed slot, so the queue performs no heap allocation
+/// after warmup.
+struct EventQueue<M> {
+    heap: Vec<EvKey>,
+    slab: Vec<Option<Ev<M>>>,
+    free: Vec<u32>,
+    /// Push counter; breaks `at` ties in schedule order (determinism).
+    seq: u64,
 }
-impl<M> Ord for Scheduled<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+
+impl<M> EventQueue<M> {
+    fn new() -> Self {
+        EventQueue {
+            heap: Vec::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    fn push(&mut self, at: Time, ev: Ev<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        let slot = match self.free.pop() {
+            Some(s) => {
+                debug_assert!(self.slab[s as usize].is_none());
+                self.slab[s as usize] = Some(ev);
+                s
+            }
+            None => {
+                assert!(self.slab.len() < 1 << SLOT_BITS, "event slab overflow");
+                self.slab.push(Some(ev));
+                (self.slab.len() - 1) as u32
+            }
+        };
+        let key = EvKey::new(at, seq, slot);
+        // Sift up with a hole: parents shift down until `key` fits.
+        let heap = &mut self.heap;
+        heap.push(key);
+        let mut i = heap.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) >> 2;
+            if heap[parent] <= key {
+                break;
+            }
+            heap[i] = heap[parent];
+            i = parent;
+        }
+        heap[i] = key;
+    }
+
+    fn pop(&mut self) -> Option<(Time, Ev<M>)> {
+        let heap = &mut self.heap;
+        let top = *heap.first()?;
+        let tail = heap.pop().expect("heap is non-empty");
+        let n = heap.len();
+        if n > 0 {
+            // Sift the former tail down from the root with a hole: the
+            // smallest child moves up until `tail` fits.  Keys are copied
+            // into locals so the child scan reads each slot once.
+            let mut i = 0;
+            loop {
+                let first_child = (i << 2) + 1;
+                if first_child >= n {
+                    break;
+                }
+                let last_child = (first_child + 4).min(n);
+                let mut min = first_child;
+                let mut min_key = heap[first_child];
+                for (off, &k) in heap[first_child + 1..last_child].iter().enumerate() {
+                    if k < min_key {
+                        min = first_child + 1 + off;
+                        min_key = k;
+                    }
+                }
+                if tail <= min_key {
+                    break;
+                }
+                heap[i] = min_key;
+                i = min;
+            }
+            heap[i] = tail;
+        }
+        let slot = top.slot();
+        let ev = self.slab[slot as usize].take().expect("slab slot vacant");
+        self.free.push(slot);
+        Some((top.at, ev))
+    }
+
+    fn is_empty(&self) -> bool {
+        self.heap.is_empty()
     }
 }
 
@@ -100,9 +215,8 @@ struct SimNode<A: Allocator, W> {
 /// The simulator.
 pub struct Sim<A: Allocator, W: Workload> {
     nodes: Vec<SimNode<A, W>>,
-    queue: BinaryHeap<Scheduled<A::Msg>>,
+    queue: EventQueue<A::Msg>,
     now: Time,
-    seq: u64,
     net_rng: StdRng,
     fifo_last: Vec<Time>,
     monitor: SafetyMonitor,
@@ -111,6 +225,12 @@ pub struct Sim<A: Allocator, W: Workload> {
     stop_issuing: Time,
     end_at: Time,
     n: usize,
+    /// Events processed so far (exposed as `RunResult::events_processed`).
+    events: u64,
+    /// True once an event past `end_at` was popped (and dropped).
+    horizon_cut: bool,
+    /// Set by [`Sim::init`]; guards against double initialization.
+    initialized: bool,
 }
 
 impl<A: Allocator, W: Workload> Sim<A, W> {
@@ -137,9 +257,8 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
             })
             .collect();
         Sim {
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(),
             now: Time::ZERO,
-            seq: 0,
             net_rng: StdRng::seed_from_u64(cfg.seed ^ 0xDEAD_BEEF_CAFE_F00D),
             fifo_last: vec![Time::ZERO; n * n],
             monitor: SafetyMonitor::new(n, m),
@@ -149,26 +268,43 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
             n,
             nodes,
             cfg,
+            events: 0,
+            horizon_cut: false,
+            initialized: false,
         }
     }
 
     fn push(&mut self, at: Time, ev: Ev<A::Msg>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Scheduled { at, seq, ev });
+        self.queue.push(at, ev);
     }
 
     fn schedule_outbox(&mut self, from: NodeId) {
-        let out = self.nodes[from].ctx.take_outbox();
-        for (to, msg) in out {
-            let lat = self.cfg.latency.sample(from, to, &mut self.net_rng);
-            let link = from * self.n + to;
+        // Disjoint field borrows: the outbox drains in place (its capacity
+        // is the reused buffer) while the queue and FIFO table are updated
+        // — no per-dispatch side buffer, no allocation, no copies.
+        let node = &mut self.nodes[from];
+        if !node.ctx.has_output() {
+            // Common case: the handler replied with nothing (counter
+            // updates, absorbed tokens).
+            return;
+        }
+        let queue = &mut self.queue;
+        let fifo_last = &mut self.fifo_last;
+        let latency = &self.cfg.latency;
+        let net_rng = &mut self.net_rng;
+        let now = self.now;
+        let n = self.n;
+        for (to, msg) in node.ctx.drain_outbox() {
+            // `sample` fast-paths deterministic models (the paper's
+            // γ = const) without touching the RNG.
+            let lat = latency.sample(from, to, net_rng);
+            let link = from * n + to;
             // Reliable FIFO links: never deliver before an earlier message
             // on the same link (1 ns separation keeps strict order even
             // under jittered latency).
-            let at = (self.now + lat).max(self.fifo_last[link] + Time::from_nanos(1));
-            self.fifo_last[link] = at;
-            self.push(at, Ev::Deliver { from, to, msg });
+            let at = (now + lat).max(fifo_last[link] + Time::from_nanos(1));
+            fifo_last[link] = at;
+            queue.push(at, Ev::Deliver { from, to, msg });
         }
     }
 
@@ -183,11 +319,16 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
         }
     }
 
-    /// Run to completion and return the measured result.
-    pub fn run(mut self) -> RunResult {
-        let algo = self.nodes[0].proto.name().to_string();
+    /// Initialize the protocols and seed the initial think timers.  Part of
+    /// the stepping API; [`Sim::run`] calls it automatically when it was
+    /// not already called.
+    ///
+    /// # Panics
+    /// On a second call — protocols must not be initialized twice.
+    pub fn init(&mut self) {
+        assert!(!self.initialized, "Sim::init() called twice");
+        self.initialized = true;
         let active = self.cfg.active_nodes.unwrap_or(self.n);
-
         // Init protocols, then stagger initial think timers.
         for i in 0..self.n {
             let node = &mut self.nodes[i];
@@ -205,74 +346,106 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
             };
             self.push(think, Ev::Think { node: i });
         }
+    }
 
-        let mut events = 0u64;
-        let mut horizon_cut = false;
-        while let Some(sched) = self.queue.pop() {
-            if sched.at > self.end_at {
-                // Events beyond the horizon (e.g. a CS ending during the
-                // drain cut-off) are intentionally dropped.
-                horizon_cut = true;
-                break;
+    /// Process one event.  Returns `false` when the simulation is over:
+    /// the queue ran dry, or the next event lies past the drain horizon
+    /// (such events — e.g. a CS ending during the cut-off — are
+    /// intentionally dropped).  Exposed so probes (tracing, allocation
+    /// tests) can observe the loop mid-run; [`Sim::run`] is the normal
+    /// entry point.
+    pub fn step(&mut self) -> bool {
+        let Some((at, ev)) = self.queue.pop() else {
+            return false;
+        };
+        if at > self.end_at {
+            self.horizon_cut = true;
+            return false;
+        }
+        self.events += 1;
+        assert!(
+            self.events <= self.cfg.max_events,
+            "simulation exceeded {} events — runaway protocol?",
+            self.cfg.max_events
+        );
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        match ev {
+            Ev::Deliver { from, to, msg } => {
+                self.collector.on_message(msg.kind(), msg.weight());
+                let node = &mut self.nodes[to];
+                node.ctx.set_now(self.now);
+                node.proto.on_message(&mut node.ctx, from, msg);
+                self.post_dispatch(to);
             }
-            events += 1;
-            assert!(
-                events <= self.cfg.max_events,
-                "simulation exceeded {} events — runaway protocol?",
-                self.cfg.max_events
-            );
-            debug_assert!(sched.at >= self.now, "time went backwards");
-            self.now = sched.at;
-            match sched.ev {
-                Ev::Deliver { from, to, msg } => {
-                    self.collector.on_message(msg.kind(), msg.weight());
-                    let node = &mut self.nodes[to];
-                    node.ctx.set_now(self.now);
-                    node.proto.on_message(&mut node.ctx, from, msg);
-                    self.post_dispatch(to);
+            Ev::Think { node: i } => {
+                if self.now >= self.stop_issuing {
+                    self.nodes[i].driver.park();
+                    return true;
                 }
-                Ev::Think { node: i } => {
-                    if self.now >= self.stop_issuing {
-                        self.nodes[i].driver.park();
-                        continue;
-                    }
-                    let set = {
-                        let SimNode {
-                            driver,
-                            workload,
-                            rng,
-                            ..
-                        } = &mut self.nodes[i];
-                        driver.issue(workload, rng)
-                    };
-                    self.collector.on_issue(i, set, self.now);
-                    let node = &mut self.nodes[i];
-                    node.ctx.set_now(self.now);
-                    node.proto.request(&mut node.ctx, set);
-                    self.post_dispatch(i);
-                }
-                Ev::CsEnd { node: i } => {
-                    self.collector.on_release(i, self.now);
-                    self.monitor.exit(i);
-                    let node = &mut self.nodes[i];
-                    node.driver.released();
-                    node.ctx.set_now(self.now);
-                    node.proto.release(&mut node.ctx);
-                    self.post_dispatch(i);
-                    let think = {
-                        let SimNode { workload, rng, .. } = &mut self.nodes[i];
-                        workload.think_time(rng)
-                    };
-                    self.push(self.now + think, Ev::Think { node: i });
-                }
+                let set = {
+                    let SimNode {
+                        driver,
+                        workload,
+                        rng,
+                        ..
+                    } = &mut self.nodes[i];
+                    driver.issue(workload, rng)
+                };
+                self.collector.on_issue(i, set, self.now);
+                let node = &mut self.nodes[i];
+                node.ctx.set_now(self.now);
+                node.proto.request(&mut node.ctx, set);
+                self.post_dispatch(i);
+            }
+            Ev::CsEnd { node: i } => {
+                self.collector.on_release(i, self.now);
+                self.monitor.exit(i);
+                let node = &mut self.nodes[i];
+                node.driver.released();
+                node.ctx.set_now(self.now);
+                node.proto.release(&mut node.ctx);
+                self.post_dispatch(i);
+                let think = {
+                    let SimNode { workload, rng, .. } = &mut self.nodes[i];
+                    workload.think_time(rng)
+                };
+                self.push(self.now + think, Ev::Think { node: i });
             }
         }
+        true
+    }
 
+    /// Run to completion and return the measured result.  Composes with
+    /// the stepping API: a partially stepped simulation resumes instead of
+    /// re-initializing.
+    ///
+    /// Throughput accounting: `wall_ns` (and thus
+    /// [`RunResult::events_per_sec`]) is only reported when `run` executed
+    /// the *whole* simulation.  A resumed run cannot know how long the
+    /// caller's stepping took, so pairing its partial wall time with the
+    /// lifetime event count would inflate the rate — it reports 0
+    /// ("not measured") instead.
+    pub fn run(mut self) -> RunResult {
+        let started = Instant::now();
+        let whole_run = self.events == 0;
+        if !self.initialized {
+            self.init();
+        }
+        while self.step() {}
+        let wall_ns = if whole_run {
+            started.elapsed().as_nanos() as u64
+        } else {
+            0
+        };
+
+        let algo = self.nodes[0].proto.name().to_string();
+        let active = self.cfg.active_nodes.unwrap_or(self.n);
         // Sanity: a *naturally* exhausted event queue (no horizon cut) with
         // a node still waiting is a genuine deadlock — nothing can ever
         // unblock it.  A horizon cut is not: the unblocking event may have
         // been dropped.
-        if !horizon_cut && self.queue.is_empty() {
+        if !self.horizon_cut && self.queue.is_empty() {
             for i in 0..active {
                 if self.nodes[i].driver.state() == DriverState::Waiting {
                     panic!(
@@ -284,7 +457,10 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
             }
         }
 
-        self.collector.finish(&algo, self.n, self.now.min(self.end_at))
+        let mut res = self.collector.finish(&algo, self.n, self.now.min(self.end_at));
+        res.events_processed = self.events;
+        res.wall_ns = wall_ns;
+        res
     }
 }
 
@@ -370,6 +546,66 @@ mod tests {
         let lass = LassConfig::with_loan(4, 6);
         let res = Sim::new(lass.build_nodes(), fixed(4, 6, 2), 6, cfg).run();
         assert!(res.cs_completed > 10);
+    }
+
+    #[test]
+    fn run_reports_event_throughput() {
+        let cfg = LassConfig::with_loan(4, 8);
+        let sim = Sim::new(cfg.build_nodes(), fixed(4, 8, 2), 8, SimConfig::quick(1));
+        let res = sim.run();
+        assert!(res.events_processed > 0);
+        assert!(res.wall_ns > 0);
+        assert!(res.events_per_sec() > 0.0);
+        // Every delivered message is one event, so the count dominates.
+        assert!(res.events_processed >= res.msgs_total);
+    }
+
+    #[test]
+    fn stepping_api_matches_run() {
+        let build = || {
+            let cfg = LassConfig::with_loan(4, 6);
+            Sim::new(cfg.build_nodes(), fixed(4, 6, 2), 6, SimConfig::quick(9))
+        };
+        let whole = build().run();
+        let mut stepped = build();
+        stepped.init();
+        let mut steps = 0u64;
+        while stepped.step() {
+            steps += 1;
+        }
+        assert_eq!(steps, whole.events_processed);
+    }
+
+    #[test]
+    fn run_resumes_a_stepped_simulation_without_reinit() {
+        let build = || {
+            let cfg = LassConfig::with_loan(4, 6);
+            Sim::new(cfg.build_nodes(), fixed(4, 6, 2), 6, SimConfig::quick(13))
+        };
+        let whole = build().run();
+        let mut hybrid = build();
+        hybrid.init();
+        for _ in 0..500 {
+            assert!(hybrid.step());
+        }
+        let resumed = hybrid.run();
+        assert_eq!(resumed.cs_completed, whole.cs_completed);
+        assert_eq!(resumed.msgs_total, whole.msgs_total);
+        assert_eq!(resumed.events_processed, whole.events_processed);
+        // A resumed run must not report a throughput: its wall clock
+        // covers only part of the event stream.
+        assert_eq!(resumed.wall_ns, 0);
+        assert_eq!(resumed.events_per_sec(), 0.0);
+        assert!(whole.wall_ns > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "init() called twice")]
+    fn double_init_is_rejected() {
+        let cfg = LassConfig::with_loan(2, 4);
+        let mut sim = Sim::new(cfg.build_nodes(), fixed(2, 4, 1), 4, SimConfig::quick(1));
+        sim.init();
+        sim.init();
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Microbenchmark guard: the steady-state `Deliver` dispatch path of the
+//! simulator must perform **zero heap allocations** after warmup.
+//!
+//! The probe wires [`EchoProbe`] (Copy messages, no internal state growth)
+//! into the real [`Sim`] engine with zero active nodes, so every event
+//! after `init()` is a `Deliver`.  A counting global allocator then
+//! asserts that thousands of steady-state steps allocate nothing: the
+//! event queue reuses its free-list slab, the outbox drains in place, and
+//! the collector's move-to-front kind table stays put.
+//!
+//! The counter is thread-local so the other tests of this binary (and the
+//! libtest harness itself) cannot pollute the measurement.
+
+use mra_protocol::testkit::EchoProbe;
+use mra_sim::{FixedWorkload, LatencyModel, Sim, SimConfig};
+use mra_types::Time;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+/// Count every allocating entry point on the current thread; `try_with`
+/// keeps the allocator infallible during TLS construction/teardown.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocs_on_this_thread() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+#[test]
+fn steady_state_deliver_dispatch_is_allocation_free() {
+    let n = 4;
+    // Several balls in flight exercise the slab free list beyond the
+    // single-slot case.
+    let protos: Vec<EchoProbe> = (0..n).map(|me| EchoProbe::new(me, 3)).collect();
+    let workloads: Vec<FixedWorkload> = (0..n)
+        .map(|_| FixedWorkload {
+            think: Time::from_millis(1),
+            cs: Time::from_millis(1),
+            m: 4,
+            size: 1,
+        })
+        .collect();
+    let mut cfg = SimConfig::quick(3);
+    cfg.latency = LatencyModel::paper_lan();
+    // Horizon far enough out that the ping-pong never hits it.
+    cfg.measure = Time::from_secs(3600);
+    cfg.drain = Time::from_secs(3600);
+    // No active nodes: no Think/CsEnd events, only message deliveries.
+    cfg.active_nodes = Some(0);
+
+    let mut sim = Sim::new(protos, workloads, 4, cfg);
+    sim.init();
+
+    // Warmup: grow every buffer (outbox, heap, slab, kind table) to its
+    // steady-state footprint.
+    for _ in 0..2_000 {
+        assert!(sim.step(), "probe ran out of events during warmup");
+    }
+
+    let before = allocs_on_this_thread();
+    for _ in 0..20_000 {
+        assert!(sim.step(), "probe ran out of events during measurement");
+    }
+    let delta = allocs_on_this_thread() - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state Deliver dispatch allocated {delta} times over 20k events"
+    );
+}

@@ -7,8 +7,12 @@
 //!
 //! Runtime scaling: the full paper grid at 32×80 takes minutes; set
 //! `MRA_FAST=1` (or `MRA_MEASURE_SECS=<s>`) to shrink the measurement
-//! window for smoke runs.
+//! window for smoke runs.  Every sweep fans its grid points across cores
+//! via [`pool::sweep`] (all runs are independent and individually seeded;
+//! results come back in input order, so output is byte-identical to a
+//! sequential run) — control the worker count with `MRA_THREADS`.
 
+use crate::pool;
 use crate::runner::{run, Algorithm};
 use crate::scenario::{Load, Scenario};
 use crate::table::Table;
@@ -71,31 +75,34 @@ pub struct Fig5Row {
 }
 
 /// Fig. 5: resource use rate vs maximum request size, for each load level
-/// and each of the five algorithms.
+/// and each of the five algorithms.  Grid points run in parallel
+/// (`MRA_THREADS` workers); row order matches the sequential nested loop.
 pub fn fig5(loads: &[Load], phis: &[usize], seed: u64, measure_secs: f64) -> Vec<Fig5Row> {
-    let mut rows = Vec::new();
+    let mut grid = Vec::new();
     for &load in loads {
         for &phi in phis {
             for algo in Algorithm::fig5_set() {
-                let sc = Scenario::builder()
-                    .load(load)
-                    .max_request_size(phi)
-                    .seed(seed)
-                    .measure_secs(measure_secs)
-                    .build();
-                let res = run(algo, &sc);
-                rows.push(Fig5Row {
-                    load,
-                    phi,
-                    algo,
-                    use_rate_pct: 100.0 * res.use_rate(),
-                    msgs_per_cs: res.msgs_per_cs(),
-                    cs_completed: res.cs_completed,
-                });
+                grid.push((load, phi, algo));
             }
         }
     }
-    rows
+    pool::sweep(grid, |(load, phi, algo)| {
+        let sc = Scenario::builder()
+            .load(load)
+            .max_request_size(phi)
+            .seed(seed)
+            .measure_secs(measure_secs)
+            .build();
+        let res = run(algo, &sc);
+        Fig5Row {
+            load,
+            phi,
+            algo,
+            use_rate_pct: 100.0 * res.use_rate(),
+            msgs_per_cs: res.msgs_per_cs(),
+            cs_completed: res.cs_completed,
+        }
+    })
 }
 
 /// Render Fig. 5 rows in the paper's layout: one row per φ, one column per
@@ -164,26 +171,29 @@ pub struct Fig6Row {
 }
 
 /// Fig. 6: average waiting time, φ = 4, for BL and both LASS variants.
+/// Runs the (load, algorithm) grid in parallel, input order preserved.
 pub fn fig6(loads: &[Load], seed: u64, measure_secs: f64) -> Vec<Fig6Row> {
-    let mut rows = Vec::new();
+    let mut grid = Vec::new();
     for &load in loads {
         for algo in Algorithm::fig6_set() {
-            let sc = Scenario::builder()
-                .load(load)
-                .max_request_size(4)
-                .seed(seed)
-                .measure_secs(measure_secs)
-                .build();
-            let res = run(algo, &sc);
-            rows.push(Fig6Row {
-                load,
-                algo,
-                wait: res.wait_stats(),
-                censored: res.censored,
-            });
+            grid.push((load, algo));
         }
     }
-    rows
+    pool::sweep(grid, |(load, algo)| {
+        let sc = Scenario::builder()
+            .load(load)
+            .max_request_size(4)
+            .seed(seed)
+            .measure_secs(measure_secs)
+            .build();
+        let res = run(algo, &sc);
+        Fig6Row {
+            load,
+            algo,
+            wait: res.wait_stats(),
+            censored: res.censored,
+        }
+    })
 }
 
 /// Render Fig. 6 rows.
@@ -226,28 +236,32 @@ pub struct Fig7Row {
 /// (1,17,33,49,65,80 — the paper's labels are our bucket lower bounds
 /// rounded to its grid), φ = 80.
 pub fn fig7(loads: &[Load], seed: u64, measure_secs: f64) -> Vec<Fig7Row> {
-    let mut rows = Vec::new();
+    let mut grid = Vec::new();
     for &load in loads {
         for algo in Algorithm::fig6_set() {
-            let sc = Scenario::builder()
-                .load(load)
-                .max_request_size(80)
-                .seed(seed)
-                .measure_secs(measure_secs)
-                .build();
-            let res = run(algo, &sc);
-            for (lo, hi, wait) in res.wait_buckets(80, 6) {
-                rows.push(Fig7Row {
-                    load,
-                    algo,
-                    size_lo: lo,
-                    size_hi: hi,
-                    wait,
-                });
-            }
+            grid.push((load, algo));
         }
     }
-    rows
+    let per_point = pool::sweep(grid, |(load, algo)| {
+        let sc = Scenario::builder()
+            .load(load)
+            .max_request_size(80)
+            .seed(seed)
+            .measure_secs(measure_secs)
+            .build();
+        let res = run(algo, &sc);
+        res.wait_buckets(80, 6)
+            .into_iter()
+            .map(|(lo, hi, wait)| Fig7Row {
+                load,
+                algo,
+                size_lo: lo,
+                size_hi: hi,
+                wait,
+            })
+            .collect::<Vec<_>>()
+    });
+    per_point.into_iter().flatten().collect()
 }
 
 /// Render Fig. 7 rows: one table per load level.
@@ -292,7 +306,7 @@ pub fn ablation_loan(
         ),
         &["threshold", "use rate [%]", "mean wait [ms]", "loan msgs/cs"],
     );
-    for &th in thresholds {
+    let rows = pool::sweep(thresholds.to_vec(), |th| {
         let sc = Scenario::builder()
             .load(load)
             .max_request_size(phi)
@@ -317,12 +331,15 @@ pub fn ablation_loan(
         } else {
             0.0
         };
-        t.row(vec![
+        vec![
             if th == 0 { "off".into() } else { th.to_string() },
             format!("{:.1}", 100.0 * res.use_rate()),
             format!("{:.1}", res.wait_stats().mean_ms),
             format!("{:.3}", per_cs),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t
 }
@@ -334,7 +351,7 @@ pub fn ablation_policy(phi: usize, load: Load, seed: u64, measure_secs: f64) -> 
         &format!("Policy A ablation (phi = {phi}, {} load)", load.label()),
         &["policy", "use rate [%]", "mean wait [ms]", "p95 wait [ms]"],
     );
-    for policy in SchedulingPolicy::all() {
+    let rows = pool::sweep(SchedulingPolicy::all().to_vec(), |policy| {
         let sc = Scenario::builder()
             .load(load)
             .max_request_size(phi)
@@ -344,12 +361,15 @@ pub fn ablation_policy(phi: usize, load: Load, seed: u64, measure_secs: f64) -> 
             .build();
         let res = run(Algorithm::LassLoan, &sc);
         let w = res.wait_stats();
-        t.row(vec![
+        vec![
             policy.name().into(),
             format!("{:.1}", 100.0 * res.use_rate()),
             format!("{:.1}", w.mean_ms),
             format!("{:.1}", w.p95_ms),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t
 }

@@ -30,11 +30,13 @@
 //! ```
 
 pub mod experiments;
+pub mod pool;
 pub mod runner;
 pub mod scenario;
 pub mod table;
 pub mod workload;
 
+pub use pool::{configured_threads, sweep};
 pub use runner::{run, Algorithm};
 pub use scenario::{Load, Scenario, ScenarioBuilder};
 pub use table::Table;

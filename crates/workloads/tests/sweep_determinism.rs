@@ -1,0 +1,54 @@
+//! Determinism is the repo's core invariant (see `deterministic_given_seed`
+//! in `mra-sim`): the parallel sweep executor must not bend it.  A sweep
+//! run with `MRA_THREADS=4` must produce **byte-identical** table and CSV
+//! output to `MRA_THREADS=1`.
+//!
+//! Both tests live in one function so the `MRA_THREADS` environment
+//! mutation cannot race another test in this binary.
+
+use mra_workloads::experiments::{fig5, fig5_tables, fig6, fig6_table};
+use mra_workloads::{pool, Load, Table};
+
+/// Render the exact artifacts the fig5 binary emits for a small grid: the
+/// paper-layout tables plus the long-format CSV.
+fn fig5_artifacts(seed: u64) -> (String, String) {
+    let rows = fig5(&[Load::Medium, Load::High], &[1, 4, 8], seed, 0.3);
+    let tables: String = fig5_tables(&rows).iter().map(|t| t.render()).collect();
+    let mut csv = Table::new(
+        "fig5",
+        &["load", "phi", "algorithm", "use_rate_pct", "msgs_per_cs", "cs_completed"],
+    );
+    for r in &rows {
+        csv.row(vec![
+            r.load.label().into(),
+            r.phi.to_string(),
+            r.algo.label().into(),
+            format!("{:.3}", r.use_rate_pct),
+            format!("{:.2}", r.msgs_per_cs),
+            r.cs_completed.to_string(),
+        ]);
+    }
+    (tables, csv.to_csv())
+}
+
+#[test]
+fn mra_threads_4_is_byte_identical_to_mra_threads_1() {
+    // Through the real `MRA_THREADS` plumbing (what CI and users set).
+    std::env::set_var("MRA_THREADS", "1");
+    assert_eq!(pool::configured_threads(), 1);
+    let (tables_seq, csv_seq) = fig5_artifacts(42);
+    let fig6_seq = fig6_table(&fig6(&[Load::Medium, Load::High], 42, 0.3)).render();
+
+    std::env::set_var("MRA_THREADS", "4");
+    assert_eq!(pool::configured_threads(), 4);
+    let (tables_par, csv_par) = fig5_artifacts(42);
+    let fig6_par = fig6_table(&fig6(&[Load::Medium, Load::High], 42, 0.3)).render();
+    std::env::remove_var("MRA_THREADS");
+
+    assert_eq!(tables_seq, tables_par, "fig5 tables diverged across thread counts");
+    assert_eq!(csv_seq, csv_par, "fig5 CSV diverged across thread counts");
+    assert_eq!(fig6_seq, fig6_par, "fig6 table diverged across thread counts");
+    // Sanity: this is real output, not two empty strings agreeing.
+    assert!(csv_seq.lines().count() > 30);
+    assert!(tables_seq.contains("Fig.5(high)"));
+}
