@@ -57,13 +57,23 @@ impl CentralSched {
 
     /// Register a request; returns the nodes granted as a consequence
     /// (possibly including `node` itself).
+    ///
+    /// A request from a node still marked *holding* is an implicit release
+    /// of that hold.  Links are FIFO per ordered pair, so the node's
+    /// `Release` can never overtake its next `Request`: seeing the request
+    /// first proves the release was lost on the wire (the fault-injection
+    /// regime) — and by hypothesis 4 (one outstanding request per process)
+    /// the node is provably out of its previous critical section.
     pub fn request(&mut self, node: NodeId, set: ResourceSet) -> Vec<NodeId> {
         assert!(!set.is_empty(), "empty request");
         debug_assert!(
-            !self.pending.iter().any(|(s, _)| *s == node)
-                && !self.holders.iter().any(|(s, _)| *s == node),
-            "node {node} already queued or holding"
+            !self.pending.iter().any(|(s, _)| *s == node),
+            "node {node} already queued"
         );
+        if let Some(idx) = self.holders.iter().position(|(s, _)| *s == node) {
+            let (_, held) = self.holders.swap_remove(idx);
+            self.in_use.difference_with(&held);
+        }
         self.pending.push_back((node, set));
         self.try_grant()
     }

@@ -20,6 +20,7 @@ use mra_core::LassConfig;
 use mra_net::{
     run_solo_node, run_tcp_cluster, PeerDirectory, SoloConfig, TcpClusterConfig,
 };
+use mra_protocol::faults::FaultPlan;
 use mra_protocol::{Allocator, WireCodec};
 use mra_sim::{FixedWorkload, RunResult};
 use mra_types::Time;
@@ -48,6 +49,13 @@ OPTIONS:
   --id I             this node's id (solo mode)
   --peers LIST       comma-separated host:port per node id (solo mode)
   --help             print this help
+
+ENVIRONMENT:
+  MRA_LOSS=P         install the frame-level fault shim: drop each inbound
+                     protocol frame with probability P (deterministic per
+                     link).  WARNING: lost tokens are never retransmitted;
+                     a lossy quota run can stall — use small P and rounds.
+  MRA_FAULT_SEED=S   seed of the fault decision hash (default 0xFA17)
 ";
 
 #[derive(Clone, Debug)]
@@ -149,6 +157,13 @@ where
 {
     let n = protos.len();
     let extra_latency = Time::from_micros(opts.latency_us);
+    let faults = FaultPlan::from_env();
+    if let Some(plan) = &faults {
+        eprintln!(
+            "mra-node: fault shim active: drop={} seed={} (lossy runs may stall)",
+            plan.link.drop, plan.seed
+        );
+    }
     if opts.solo {
         let spec = opts
             .peers
@@ -179,6 +194,7 @@ where
                 extra_latency,
                 active,
                 connect_timeout: Duration::from_secs(30),
+                faults,
             },
         )
         .unwrap_or_else(|e| die(&format!("transport setup failed: {e}")))
@@ -193,6 +209,7 @@ where
                 seed: opts.seed,
                 extra_latency,
                 active_nodes: Some(active),
+                faults,
             },
         )
     }

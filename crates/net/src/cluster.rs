@@ -15,6 +15,7 @@
 //!   local node).
 
 use crate::transport::{connect_mesh, MeshConfig, PeerDirectory, PortCtrl, TcpPort};
+use mra_protocol::faults::FaultPlan;
 use mra_protocol::{Allocator, WireCodec};
 use mra_sim::runtime::{drive_node, NodeCfg, RunShared};
 use mra_sim::{RunResult, Workload};
@@ -37,16 +38,22 @@ pub struct TcpClusterConfig {
     pub extra_latency: Time,
     /// Only nodes `0..active` issue requests (`None` = all).
     pub active_nodes: Option<usize>,
+    /// Frame-level fault shim (see [`MeshConfig::faults`]).  A *lossy* plan
+    /// on a quota-based cluster run can stall it forever — lost tokens are
+    /// never retransmitted; use non-lossy plans (dup-only) here and keep
+    /// lossy plans for bounded transport experiments.
+    pub faults: Option<FaultPlan>,
 }
 
 impl TcpClusterConfig {
-    /// `rounds` cycles on every node, no artificial latency.
+    /// `rounds` cycles on every node, no artificial latency, no faults.
     pub fn new(rounds: usize, seed: u64) -> Self {
         TcpClusterConfig {
             rounds,
             seed,
             extra_latency: Time::ZERO,
             active_nodes: None,
+            faults: None,
         }
     }
 }
@@ -95,6 +102,7 @@ where
     let mesh = MeshConfig {
         extra_latency: cfg.extra_latency,
         connect_timeout: Duration::from_secs(10),
+        faults: cfg.faults.clone(),
     };
 
     let algo = protos[0].name().to_string();
@@ -108,6 +116,7 @@ where
         let shared = Arc::clone(&shared);
         let dir = dir.clone();
         let remaining = Arc::clone(&remaining);
+        let mesh = mesh.clone();
         let node_cfg = NodeCfg {
             rounds: cfg.rounds,
             seed: cfg.seed,
@@ -137,6 +146,17 @@ where
     let end = shared.now();
     let shared = Arc::try_unwrap(shared)
         .unwrap_or_else(|_| panic!("thread leaked a RunShared reference"));
+    // Post-run conservation: every node finished outside its CS, so the
+    // holder table must be empty — a leak here means a grant/release pair
+    // corrupted it (the monitor's exit check is a hard assert in release
+    // builds exactly so this cannot pass silently).
+    let monitor = shared
+        .monitor
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
+    assert_eq!(monitor.concurrency(), 0, "node left inside CS after the run");
+    assert_eq!(monitor.held_resources(), 0, "resources leaked after the run");
+    monitor.assert_conservation();
     shared
         .collector
         .into_inner()
@@ -158,6 +178,10 @@ pub struct SoloConfig {
     pub active: usize,
     /// How long to keep retrying connections while peers start up.
     pub connect_timeout: Duration,
+    /// Frame-level fault shim for this node's inbound links (see
+    /// [`MeshConfig::faults`]); every process must install the same plan
+    /// for the cluster-wide fault pattern to be coherent.
+    pub faults: Option<FaultPlan>,
 }
 
 /// Run node `me` of a multi-process cluster on the current thread,
@@ -198,6 +222,7 @@ where
         MeshConfig {
             extra_latency: cfg.extra_latency,
             connect_timeout: cfg.connect_timeout,
+            faults: cfg.faults.clone(),
         },
     )?;
     let node_cfg = NodeCfg {
@@ -245,6 +270,25 @@ mod tests {
         assert_eq!(res.censored, 0);
         assert_eq!(res.wait_stats().count, 20);
         assert!(res.msgs_total > 0);
+    }
+
+    #[test]
+    fn dup_only_fault_shim_costs_no_critical_section() {
+        // A non-lossy plan is safe on a quota run: every duplicate verdict
+        // is absorbed at the receiver, the cluster completes its quota and
+        // the holder table stays conserved (asserted inside the harness).
+        let cfg = LassConfig::with_loan(4, 8);
+        let res = run_tcp_cluster(
+            cfg.build_nodes(),
+            quick_workloads(4, 8, 2),
+            8,
+            TcpClusterConfig {
+                faults: Some(FaultPlan::new(77).dup_rate(0.5)),
+                ..TcpClusterConfig::new(5, 11)
+            },
+        );
+        assert_eq!(res.cs_completed, 20);
+        assert_eq!(res.censored, 0);
     }
 
     #[test]
@@ -326,6 +370,7 @@ mod tests {
                         extra_latency: Time::ZERO,
                         active: n,
                         connect_timeout: Duration::from_secs(10),
+                        faults: None,
                     },
                 )
                 .expect("solo node run")

@@ -25,6 +25,7 @@
 use crate::frame::{
     read_frame, read_handshake, write_frame, write_handshake, TAG_DONE, TAG_MSG, TAG_SHUTDOWN,
 };
+use mra_protocol::faults::{FaultPlan, FrameFate, LinkFilter};
 use mra_protocol::WireCodec;
 use mra_sim::{NodePort, PortEvent};
 use mra_types::{NodeId, Time};
@@ -241,15 +242,31 @@ impl<M: WireCodec + Send> NodePort<M> for TcpPort<M> {
 }
 
 /// Mesh construction parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct MeshConfig {
     /// Artificial latency added on top of the real wire (delivery of each
     /// message is deferred by this much at the receiver).  `Time::ZERO`
-    /// measures the raw transport.
+    /// measures the raw transport.  Together with `faults` this forms the
+    /// frame-level drop/delay shim.
     pub extra_latency: Time,
     /// How long to keep retrying outbound connections (peers of a
     /// multi-process cluster may start later than this node).
     pub connect_timeout: Duration,
+    /// Frame-level fault shim: each inbound link runs the plan's
+    /// deterministic per-link drop filter (`k`-th frame on a link sees the
+    /// same verdict as on the simulated substrates).  What TCP cannot
+    /// reproduce: duplicate frames (the kernel's sequence numbers already
+    /// absorb them, so dup verdicts are ignored here — unlike the
+    /// simulated substrates nothing aggregates per-reader counters into
+    /// `RunResult::faults`) and time-based faults (partitions/outages name
+    /// *simulated* instants; a real wire has no such clock).  See
+    /// DESIGN.md §8.
+    ///
+    /// **Beware with quota-based runs:** protocol messages lost to a drop
+    /// filter are gone for good — token-based algorithms may then never
+    /// finish their quota.  Intended for transport experiments and
+    /// explicitly bounded runs.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for MeshConfig {
@@ -257,6 +274,7 @@ impl Default for MeshConfig {
         MeshConfig {
             extra_latency: Time::ZERO,
             connect_timeout: Duration::from_secs(10),
+            faults: None,
         }
     }
 }
@@ -321,9 +339,13 @@ where
         stream.set_nodelay(true)?;
         let from = read_handshake(&mut stream, n)?;
         let tx = tx.clone();
+        let filter = cfg
+            .faults
+            .as_ref()
+            .map(|plan| LinkFilter::new(plan, from, me, n));
         std::thread::Builder::new()
             .name(format!("mra-net-rx-{me}-from-{from}"))
-            .spawn(move || reader_loop::<M>(stream, from, tx, extra))
+            .spawn(move || reader_loop::<M>(stream, from, tx, extra, filter))
             .expect("spawn reader thread");
     }
 
@@ -338,22 +360,33 @@ where
 
 /// Drain one inbound link: decode frames, stamp delivery deadlines, feed
 /// the node loop.  Exits on shutdown, EOF, decode failure or a dropped
-/// receiver.
+/// receiver.  With a fault `filter` installed, each decoded protocol frame
+/// first runs through the plan's deterministic per-link verdict: dropped
+/// frames vanish here (the wire-level loss point), duplicate verdicts are
+/// absorbed (TCP already delivers exactly once — see [`MeshConfig`]).
 fn reader_loop<M: WireCodec>(
     mut stream: TcpStream,
     from: NodeId,
     tx: mpsc::Sender<Inbound<M>>,
     extra_latency: Duration,
+    mut filter: Option<LinkFilter>,
 ) {
     let mut scratch = Vec::with_capacity(256);
     loop {
         let event = match read_frame(&mut stream, &mut scratch) {
             Ok(TAG_MSG) => match M::from_bytes(&scratch[1..]) {
-                Ok(msg) => Inbound::Msg {
-                    from,
-                    deliver_at: Instant::now() + extra_latency,
-                    msg,
-                },
+                Ok(msg) => {
+                    if let Some(f) = filter.as_mut() {
+                        if f.next_fate() == FrameFate::Drop {
+                            continue;
+                        }
+                    }
+                    Inbound::Msg {
+                        from,
+                        deliver_at: Instant::now() + extra_latency,
+                        msg,
+                    }
+                }
                 Err(e) => {
                     eprintln!("mra-net: dropping link from node {from}: {e}");
                     Inbound::Shutdown
@@ -427,6 +460,65 @@ mod tests {
             _ => panic!("expected message"),
         }
         t.join().unwrap();
+    }
+
+    #[test]
+    fn drop_shim_loses_exactly_the_planned_frames() {
+        let plan = FaultPlan::new(0xC0FFEE).drop_rate(0.3).dup_rate(0.1);
+        const FRAMES: u64 = 200;
+        // Replay the plan's verdicts for link 0 → 1: duplicates are
+        // absorbed by TCP semantics, so everything but Drop arrives once.
+        let mut filter = LinkFilter::new(&plan, 0, 1, 2);
+        let expected = (0..FRAMES)
+            .filter(|_| filter.next_fate() != FrameFate::Drop)
+            .count() as u64;
+        assert!(expected > 0 && expected < FRAMES, "degenerate plan");
+
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dir = PeerDirectory::new(vec![
+            l0.local_addr().unwrap(),
+            l1.local_addr().unwrap(),
+        ]);
+        let d0 = dir.clone();
+        let shim = MeshConfig {
+            faults: Some(plan),
+            ..MeshConfig::default()
+        };
+        let cfg0 = shim.clone();
+        let remaining = Arc::new(AtomicUsize::new(2));
+        let r0 = Arc::clone(&remaining);
+        let t = std::thread::spawn(move || {
+            let mut p0: TcpPort<u64> =
+                connect_mesh(0, l0, &d0, PortCtrl::Cluster(r0), cfg0).unwrap();
+            for k in 0..FRAMES {
+                p0.send(1, k);
+            }
+            // Dropping p0 closes the stream; the peer's reader sees EOF.
+        });
+        let mut p1: TcpPort<u64> = connect_mesh(
+            1,
+            l1,
+            &dir,
+            PortCtrl::Cluster(Arc::clone(&remaining)),
+            shim,
+        )
+        .unwrap();
+        let mut got = Vec::new();
+        loop {
+            match p1.recv() {
+                PortEvent::Msg { from, msg, .. } => {
+                    assert_eq!(from, 0);
+                    got.push(msg);
+                }
+                PortEvent::Shutdown => break,
+                PortEvent::TimedOut => unreachable!("recv never times out"),
+            }
+        }
+        t.join().unwrap();
+        assert_eq!(got.len() as u64, expected, "shim lost the wrong frames");
+        // FIFO survives the shim: payloads arrive in send order.
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

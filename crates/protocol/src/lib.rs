@@ -16,9 +16,11 @@
 //! 4. `mra-net`'s TCP transport — real sockets, one process or many, using
 //!    the [`wire`] codecs to put messages on an actual wire.
 
+pub mod faults;
 pub mod testkit;
 pub mod wire;
 
+pub use faults::{FaultPlan, FaultStats, LinkFaults};
 pub use wire::{DecodeError, WireCodec, WireReader};
 
 use mra_types::{NodeId, ResourceSet, Time};

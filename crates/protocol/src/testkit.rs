@@ -10,6 +10,7 @@
 //! makes it ideal for exploring protocol corner cases that a timed simulator
 //! would rarely hit.
 
+use crate::faults::{FaultPlan, FaultState, FaultStats, FrameFate};
 use crate::{Allocator, Ctx, ProcState};
 use mra_types::{NodeId, ResourceSet, Time};
 use rand::rngs::StdRng;
@@ -61,12 +62,22 @@ impl SafetyMonitor {
     }
 
     /// Register node `who` leaving its CS.
+    ///
+    /// # Panics
+    /// If `who` was not in CS, or if the holder table disagrees about any
+    /// released resource.  The holder check is a *real* assert (not
+    /// `debug_assert`): release-mode runs — the TCP cluster tests build in
+    /// release — must not silently pass through a corrupted holder table.
     pub fn exit(&mut self, who: NodeId) {
         let set = self.in_cs[who]
             .take()
             .unwrap_or_else(|| panic!("node {who} released without being in CS"));
         for r in set.iter() {
-            debug_assert_eq!(self.holder[r], Some(who));
+            assert_eq!(
+                self.holder[r],
+                Some(who),
+                "HOLDER CORRUPTION: node {who} releasing resource {r} it does not hold"
+            );
             self.holder[r] = None;
         }
     }
@@ -84,6 +95,43 @@ impl SafetyMonitor {
     /// Number of nodes currently in CS.
     pub fn concurrency(&self) -> usize {
         self.in_cs.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Number of resources currently marked held.
+    pub fn held_resources(&self) -> usize {
+        self.holder.iter().filter(|h| h.is_some()).count()
+    }
+
+    /// Assert the conservation invariant of granted resources: every held
+    /// resource belongs to exactly the node the CS table says is inside
+    /// with it, and vice versa.  At quiescence (nobody in CS) this proves
+    /// no granted resource leaked.
+    ///
+    /// # Panics
+    /// On any holder/CS-table disagreement.
+    pub fn assert_conservation(&self) {
+        for (r, h) in self.holder.iter().enumerate() {
+            if let Some(w) = h {
+                let ok = self.in_cs[*w].is_some_and(|set| set.contains(r));
+                assert!(
+                    ok,
+                    "RESOURCE LEAK: resource {r} marked held by node {w}, \
+                     which is not in CS with it"
+                );
+            }
+        }
+        for (w, s) in self.in_cs.iter().enumerate() {
+            if let Some(set) = s {
+                for r in set.iter() {
+                    assert_eq!(
+                        self.holder[r],
+                        Some(w),
+                        "RESOURCE LEAK: node {w} in CS with resource {r} \
+                         not attributed to it in the holder table"
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -166,6 +214,8 @@ pub struct VirtualNet<A: Allocator> {
     n: usize,
     steps: u64,
     delivered: u64,
+    /// Installed fault layer, if any (queue-pop injection).
+    faults: Option<FaultState>,
     /// Safety monitor; public so tests can inspect concurrency.
     pub monitor: SafetyMonitor,
 }
@@ -189,6 +239,7 @@ impl<A: Allocator> VirtualNet<A> {
             n,
             steps: 0,
             delivered: 0,
+            faults: None,
             monitor: SafetyMonitor::new(n, m),
             slots: Vec::new(),
         };
@@ -241,6 +292,23 @@ impl<A: Allocator> VirtualNet<A> {
     /// Total messages delivered so far.
     pub fn delivered(&self) -> u64 {
         self.delivered
+    }
+
+    /// Install a fault plan: from now on every queue-pop runs through its
+    /// per-link drop/duplicate filter (time-based faults — partitions,
+    /// outages — do not apply here: the virtual network has no clock).
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        self.faults = Some(FaultState::new(plan.clone(), self.n));
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| f.plan())
+    }
+
+    /// Fault counters accumulated so far (zero when no plan is installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
     }
 
     /// Issue a request for `set` from node `i`.
@@ -301,6 +369,15 @@ impl<A: Allocator> VirtualNet<A> {
     fn deliver_from_link(&mut self, link: usize) {
         let msg = self.links[link].pop_front().expect("link not empty");
         let (src, dst) = (link / self.n, link % self.n);
+        if let Some(fs) = self.faults.as_mut() {
+            match fs.fate(src, dst) {
+                // Lost on the wire: the pop consumed it, nobody sees it.
+                FrameFate::Drop => return,
+                // Duplicated on the wire, absorbed by the dedup layer —
+                // delivered exactly once below (see `faults` module docs).
+                FrameFate::Duplicate | FrameFate::Deliver => {}
+            }
+        }
         self.tick();
         self.delivered += 1;
         let slot = &mut self.slots[dst];
@@ -372,6 +449,7 @@ where
             n: self.n,
             steps: self.steps,
             delivered: self.delivered,
+            faults: self.faults.clone(),
             monitor: self.monitor.clone(),
         }
     }
@@ -637,6 +715,165 @@ pub fn run_random_workload<A: Allocator>(
     }
 }
 
+/// Outcome of [`run_faulty_workload`].
+#[derive(Clone, Debug)]
+pub struct FaultyReport {
+    /// Critical sections completed.
+    pub cs_completed: u64,
+    /// Nodes left waiting forever because the fault plan destroyed the
+    /// liveness of their request (empty under a non-lossy plan).
+    pub starved: Vec<NodeId>,
+    /// Scheduler actions executed.
+    pub actions: u64,
+    /// Messages actually delivered to protocol handlers.
+    pub delivered: u64,
+    /// What the fault layer did.
+    pub stats: FaultStats,
+}
+
+/// Drive a (possibly faulty) network with a random workload and check the
+/// invariants that must survive an imperfect network:
+///
+/// * **safety** — continuously, via the [`SafetyMonitor`] (any exclusivity
+///   violation panics);
+/// * **conservation** — after quiescence every granted resource was
+///   released: nobody is left in CS and the holder table is empty
+///   ([`SafetyMonitor::assert_conservation`]);
+/// * **fault-aware liveness** — under a *non-lossy* plan (clean, dup-only)
+///   every request must complete, exactly like [`run_random_workload`];
+///   under a lossy plan starved nodes are *reported*, not treated as
+///   failures — a dropped token legitimately destroys liveness.
+///
+/// The run quiesces when no action remains: all messages delivered or
+/// dropped, every critical section released, and every remaining request
+/// either completed or permanently starved.
+///
+/// # Panics
+/// On any safety violation, on a granted-resource leak at quiescence, on
+/// starvation under a non-lossy plan, and if `cfg.step_cap` is exceeded.
+pub fn run_faulty_workload<A: Allocator>(
+    net: &mut VirtualNet<A>,
+    cfg: &ExerciseCfg,
+    rng: &mut StdRng,
+) -> FaultyReport {
+    let lossy = net.fault_plan().is_some_and(|p| p.is_lossy());
+    let n_active = cfg.active_nodes.unwrap_or(net.len());
+    assert!(n_active <= net.len());
+    assert!(cfg.max_req_size >= 1 && cfg.max_req_size <= cfg.m);
+
+    let mut quota = vec![cfg.rounds_per_node; n_active];
+    let mut holds = vec![0usize; n_active];
+    let mut completed = 0u64;
+    let mut actions = 0u64;
+    let mut starved: Vec<NodeId> = Vec::new();
+
+    #[derive(Clone, Copy)]
+    enum Act {
+        Deliver,
+        Issue(NodeId),
+        Hold(NodeId),
+    }
+
+    loop {
+        let mut candidates: Vec<Act> = Vec::new();
+        if net.in_flight() > 0 {
+            for _ in 0..net.in_flight().min(8) {
+                candidates.push(Act::Deliver);
+            }
+        }
+        for (i, &q) in quota.iter().enumerate().take(n_active) {
+            if net.in_cs(i) {
+                candidates.push(Act::Hold(i));
+            } else if q > 0 && net.state(i) == ProcState::Idle {
+                candidates.push(Act::Issue(i));
+            }
+        }
+
+        if candidates.is_empty() {
+            let waiting: Vec<NodeId> = (0..n_active)
+                .filter(|&i| !net.in_cs(i) && net.state(i) != ProcState::Idle)
+                .collect();
+            if waiting.is_empty() {
+                break; // every request served, all quotas spent
+            }
+            if lossy {
+                // Permanent starvation caused by message loss: an expected
+                // liveness casualty, recorded and tolerated.
+                starved = waiting;
+                break;
+            }
+            let states: Vec<String> = (0..net.len())
+                .map(|i| format!("n{}={}", i, net.state(i)))
+                .collect();
+            panic!(
+                "DEADLOCK under a non-lossy fault plan: nodes {waiting:?} \
+                 waiting, nothing in flight, nobody in CS; states: {}",
+                states.join(" ")
+            );
+        }
+
+        match candidates[rng.gen_range(0..candidates.len())] {
+            Act::Deliver => {
+                net.deliver_one(rng);
+            }
+            Act::Issue(i) => {
+                let size = rng.gen_range(1..=cfg.max_req_size);
+                let mut set = ResourceSet::new();
+                while set.len() < size {
+                    set.insert(rng.gen_range(0..cfg.m));
+                }
+                quota[i] -= 1;
+                holds[i] = cfg.hold_steps;
+                net.request(i, set);
+            }
+            Act::Hold(i) => {
+                if holds[i] > 0 {
+                    holds[i] -= 1;
+                } else {
+                    net.release(i);
+                    completed += 1;
+                }
+            }
+        }
+        actions += 1;
+        assert!(
+            actions <= cfg.step_cap,
+            "LIVENESS FAILURE: exceeded {} actions with {completed} CS \
+             completed; in flight: {}",
+            cfg.step_cap,
+            net.in_flight()
+        );
+    }
+
+    // Quiescence invariants: no granted resource leaked.
+    assert_eq!(
+        net.monitor.concurrency(),
+        0,
+        "nodes left inside CS at quiescence"
+    );
+    assert_eq!(
+        net.monitor.held_resources(),
+        0,
+        "resources left marked held at quiescence"
+    );
+    net.monitor.assert_conservation();
+    if !lossy {
+        assert_eq!(
+            completed as usize,
+            cfg.rounds_per_node * n_active,
+            "a non-lossy plan must not cost a single critical section"
+        );
+    }
+
+    FaultyReport {
+        cs_completed: completed,
+        starved,
+        actions,
+        delivered: net.delivered(),
+        stats: net.fault_stats(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -691,6 +928,163 @@ mod tests {
         let rep = run_random_workload(&mut net, &cfg, &mut rng);
         assert_eq!(rep.cs_completed, 10);
         assert_eq!(rep.delivered, 0);
+    }
+
+    /// A minimal two-node token lock (m = 1) for exercising the fault
+    /// harness with real message traffic: the token starts at node 0; a
+    /// node without it asks the peer; the holder hands it over when idle
+    /// (or right after its own release).
+    struct TinyLock {
+        me: NodeId,
+        has_token: bool,
+        peer_wants: bool,
+        state: ProcState,
+    }
+
+    impl TinyLock {
+        fn pair() -> Vec<TinyLock> {
+            (0..2)
+                .map(|me| TinyLock {
+                    me,
+                    has_token: me == 0,
+                    peer_wants: false,
+                    state: ProcState::Idle,
+                })
+                .collect()
+        }
+        fn peer(&self) -> NodeId {
+            1 - self.me
+        }
+    }
+
+    #[derive(Clone, Copy, Debug)]
+    enum TinyMsg {
+        Req,
+        Tok,
+    }
+    impl WireMsg for TinyMsg {
+        fn kind(&self) -> &'static str {
+            match self {
+                TinyMsg::Req => "Req",
+                TinyMsg::Tok => "Tok",
+            }
+        }
+    }
+
+    impl Allocator for TinyLock {
+        type Msg = TinyMsg;
+        fn on_init(&mut self, _ctx: &mut Ctx<TinyMsg>) {}
+        fn on_message(&mut self, ctx: &mut Ctx<TinyMsg>, _from: NodeId, msg: TinyMsg) {
+            match msg {
+                TinyMsg::Req => {
+                    if self.has_token && self.state == ProcState::Idle {
+                        self.has_token = false;
+                        ctx.send(self.peer(), TinyMsg::Tok);
+                    } else {
+                        self.peer_wants = true;
+                    }
+                }
+                TinyMsg::Tok => {
+                    assert!(!self.has_token, "token duplicated");
+                    self.has_token = true;
+                    if self.state == ProcState::WaitCS {
+                        self.state = ProcState::InCS;
+                        ctx.grant();
+                    }
+                }
+            }
+        }
+        fn request(&mut self, ctx: &mut Ctx<TinyMsg>, _resources: ResourceSet) {
+            if self.has_token {
+                self.state = ProcState::InCS;
+                ctx.grant();
+            } else {
+                self.state = ProcState::WaitCS;
+                ctx.send(self.peer(), TinyMsg::Req);
+            }
+        }
+        fn release(&mut self, ctx: &mut Ctx<TinyMsg>) {
+            self.state = ProcState::Idle;
+            if self.peer_wants {
+                self.peer_wants = false;
+                self.has_token = false;
+                ctx.send(self.peer(), TinyMsg::Tok);
+            }
+        }
+        fn state(&self) -> ProcState {
+            self.state
+        }
+        fn name(&self) -> &'static str {
+            "tiny-lock"
+        }
+    }
+
+    fn tiny_cfg(rounds: usize) -> ExerciseCfg {
+        ExerciseCfg {
+            rounds_per_node: rounds,
+            max_req_size: 1,
+            m: 1,
+            hold_steps: 2,
+            active_nodes: None,
+            step_cap: 100_000,
+        }
+    }
+
+    #[test]
+    fn faulty_harness_clean_plan_completes_everything() {
+        let mut net = VirtualNet::new(TinyLock::pair(), 1);
+        net.install_faults(&crate::faults::FaultPlan::new(5));
+        let mut rng = StdRng::seed_from_u64(3);
+        let rep = run_faulty_workload(&mut net, &tiny_cfg(6), &mut rng);
+        assert_eq!(rep.cs_completed, 12);
+        assert!(rep.starved.is_empty());
+        assert_eq!(rep.stats, FaultStats::default());
+    }
+
+    #[test]
+    fn faulty_harness_without_any_plan_behaves_like_clean() {
+        let mut net = VirtualNet::new(TinyLock::pair(), 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let rep = run_faulty_workload(&mut net, &tiny_cfg(6), &mut rng);
+        assert_eq!(rep.cs_completed, 12);
+    }
+
+    #[test]
+    fn dup_only_plan_is_absorbed_and_costs_nothing() {
+        let mut net = VirtualNet::new(TinyLock::pair(), 1);
+        net.install_faults(&crate::faults::FaultPlan::new(5).dup_rate(1.0));
+        let mut rng = StdRng::seed_from_u64(7);
+        let rep = run_faulty_workload(&mut net, &tiny_cfg(6), &mut rng);
+        // Non-lossy: the harness itself asserts full completion; every
+        // delivered frame was duplicated on the wire and absorbed.
+        assert_eq!(rep.cs_completed, 12);
+        assert!(rep.stats.duplicated > 0);
+        assert_eq!(rep.stats.duplicated, rep.stats.deduped);
+    }
+
+    #[test]
+    fn total_loss_starves_the_tokenless_node_but_stays_safe() {
+        let mut net = VirtualNet::new(TinyLock::pair(), 1);
+        net.install_faults(&crate::faults::FaultPlan::new(5).drop_rate(1.0));
+        let mut rng = StdRng::seed_from_u64(11);
+        let rep = run_faulty_workload(&mut net, &tiny_cfg(4), &mut rng);
+        // Node 0 holds the token and completes locally; node 1's requests
+        // all vanish on the wire.
+        assert_eq!(rep.cs_completed, 4);
+        assert_eq!(rep.starved, vec![1]);
+        assert!(rep.stats.dropped_link > 0);
+    }
+
+    #[test]
+    fn drop_decisions_are_reproducible_across_runs() {
+        let run = |seed: u64| {
+            let mut net = VirtualNet::new(TinyLock::pair(), 1);
+            net.install_faults(&crate::faults::FaultPlan::new(seed).drop_rate(0.3));
+            let mut rng = StdRng::seed_from_u64(9);
+            let rep = run_faulty_workload(&mut net, &tiny_cfg(5), &mut rng);
+            (rep.cs_completed, rep.stats)
+        };
+        assert_eq!(run(21), run(21));
     }
 
     #[test]

@@ -60,7 +60,9 @@ impl LatencyModel {
     /// randomness: `Constant`, `Zero` and `Hierarchical` are pure functions
     /// of the endpoints, so engines can skip borrowing (and advancing) the
     /// network RNG entirely — the fast path for the paper's γ = const
-    /// scenarios.  Returns `None` for jittered models.
+    /// scenarios.  A degenerate `Uniform` with `lo == hi` is a constant in
+    /// disguise and takes the same path.  Returns `None` only for genuinely
+    /// jittered models.
     #[inline]
     pub fn sample_deterministic(&self, src: NodeId, dst: NodeId) -> Option<Time> {
         match self {
@@ -71,6 +73,7 @@ impl LatencyModel {
                 intra,
                 inter,
             } => Some(if cluster[src] == cluster[dst] { *intra } else { *inter }),
+            LatencyModel::Uniform { lo, hi } if lo == hi => Some(*lo),
             LatencyModel::Uniform { .. } => None,
         }
     }
@@ -85,13 +88,11 @@ impl LatencyModel {
         }
         match self {
             LatencyModel::Uniform { lo, hi } => {
-                debug_assert!(lo <= hi);
+                // `lo == hi` was already served by the deterministic fast
+                // path above, so the span here is always positive.
+                debug_assert!(lo < hi);
                 let span = hi.as_nanos() - lo.as_nanos();
-                if span == 0 {
-                    *lo
-                } else {
-                    Time::from_nanos(lo.as_nanos() + rng.gen_range(0..=span))
-                }
+                Time::from_nanos(lo.as_nanos() + rng.gen_range(0..=span))
             }
             // Named so a new variant fails to compile here instead of
             // panicking at runtime: the author must decide which path
@@ -178,5 +179,34 @@ mod tests {
             hi: Time::from_micros(20),
         };
         assert_eq!(jitter.sample_deterministic(0, 1), None);
+    }
+
+    #[test]
+    fn degenerate_uniform_takes_the_deterministic_fast_path() {
+        use rand::RngCore;
+        let t = Time::from_micros(150);
+        let m = LatencyModel::Uniform { lo: t, hi: t };
+        assert_eq!(m.sample_deterministic(0, 1), Some(t));
+        // `sample` agrees and consumes **no** RNG draws: the stream stays
+        // exactly where a never-sampling clone's stream is.
+        let mut rng = StdRng::seed_from_u64(23);
+        let untouched = rng.clone();
+        for (src, dst) in [(0, 1), (1, 2), (3, 0)] {
+            assert_eq!(m.sample(src, dst, &mut rng), t);
+        }
+        assert_eq!(
+            rng.next_u64(),
+            untouched.clone().next_u64(),
+            "lo == hi Uniform consumed RNG draws"
+        );
+        // A genuinely jittered model does advance the stream.
+        let jitter = LatencyModel::Uniform {
+            lo: t,
+            hi: Time::from_micros(151),
+        };
+        let mut rng2 = StdRng::seed_from_u64(23);
+        let before = rng2.clone();
+        let _ = jitter.sample(0, 1, &mut rng2);
+        assert_ne!(rng2.next_u64(), before.clone().next_u64());
     }
 }

@@ -28,6 +28,15 @@
 //!   validate the protocols outside the simulator.
 
 pub mod driver;
+/// Deterministic fault injection (re-exported from
+/// [`mra_protocol::faults`], where the model lives so the virtual test
+/// network can share it): [`faults::FaultPlan`] describes per-link
+/// drop/duplicate probabilities, partitions with scheduled heal and
+/// per-node pause/crash-restart windows; [`Sim::set_fault_plan`]
+/// threads it through the event loop.
+pub mod faults {
+    pub use mra_protocol::faults::*;
+}
 pub mod latency;
 pub mod metrics;
 pub mod runtime;
@@ -37,6 +46,7 @@ pub mod threaded;
 pub mod trace;
 
 pub use driver::{FixedWorkload, Workload};
+pub use faults::{FaultPlan, FaultStats};
 pub use latency::LatencyModel;
 pub use metrics::{ReqRecord, RunResult, WaitStats};
 pub use runtime::{drive_node, NodeCfg, NodePort, PortEvent, RunShared};

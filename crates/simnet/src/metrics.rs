@@ -2,6 +2,7 @@
 //! summary statistics (the paper's §5.2 and §5.3 metrics).
 
 use crate::stats;
+use mra_protocol::faults::FaultStats;
 use mra_types::{NodeId, ResourceSet, Time};
 
 /// Full life of one critical-section request.
@@ -95,6 +96,11 @@ pub struct RunResult {
     /// simulator-only).  Purely observational: it never feeds back into
     /// the simulation, so determinism is unaffected.
     pub wall_ns: u64,
+    /// What the fault layer did during the run (all-zero when no
+    /// [`FaultPlan`](mra_protocol::faults::FaultPlan) was installed, and
+    /// under the threaded/TCP runtimes, whose per-link filters are not
+    /// aggregated here).
+    pub faults: FaultStats,
 }
 
 impl RunResult {
@@ -347,6 +353,7 @@ impl Collector {
             censored,
             events_processed: 0,
             wall_ns: 0,
+            faults: FaultStats::default(),
         }
     }
 }

@@ -14,6 +14,7 @@
 use crate::driver::{Driver, DriverState, Workload};
 use crate::latency::LatencyModel;
 use crate::metrics::{Collector, RunResult};
+use mra_protocol::faults::{Admit, FaultPlan, FaultState, FaultStats};
 use mra_protocol::testkit::SafetyMonitor;
 use mra_protocol::{Allocator, Ctx, WireMsg};
 use mra_types::{NodeId, Time};
@@ -142,6 +143,13 @@ impl<M> EventQueue<M> {
             None => {
                 assert!(self.slab.len() < 1 << SLOT_BITS, "event slab overflow");
                 self.slab.push(Some(ev));
+                // The free list holds at most one entry per slab slot; keep
+                // its capacity at that bound so popping without a matching
+                // push (a fault-dropped event) never reallocates mid-run.
+                let need = self.slab.len();
+                if self.free.capacity() < need {
+                    self.free.reserve_exact(need - self.free.len());
+                }
                 (self.slab.len() - 1) as u32
             }
         };
@@ -229,6 +237,8 @@ pub struct Sim<A: Allocator, W: Workload> {
     events: u64,
     /// True once an event past `end_at` was popped (and dropped).
     horizon_cut: bool,
+    /// Installed fault layer, if any (event-pop injection).
+    faults: Option<FaultState>,
     /// Set by [`Sim::init`]; guards against double initialization.
     initialized: bool,
 }
@@ -270,8 +280,28 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
             cfg,
             events: 0,
             horizon_cut: false,
+            faults: None,
             initialized: false,
         }
+    }
+
+    /// Install a [`FaultPlan`]: every subsequent event pop runs through its
+    /// admission filter (drops, duplicate absorption, partitions, node
+    /// outages — see [`mra_protocol::faults`]).  Fault decisions are
+    /// counter-hashed from the plan's own seed, so installing a plan never
+    /// perturbs the workload or latency RNG streams: a zero-rate plan is
+    /// observationally identical to no plan.
+    ///
+    /// # Panics
+    /// If called after [`Sim::init`].
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(!self.initialized, "install the fault plan before init()");
+        self.faults = Some(FaultState::new(plan, self.n));
+    }
+
+    /// Fault counters accumulated so far (zero when no plan is installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
     }
 
     fn push(&mut self, at: Time, ev: Ev<A::Msg>) {
@@ -372,6 +402,20 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
         self.now = at;
         match ev {
             Ev::Deliver { from, to, msg } => {
+                // Fault admission at event pop: the zero-alloc hot path is
+                // preserved — decisions are pure hashes over pre-sized
+                // tables, a deferral re-pushes into the free-list slab.
+                if let Some(fs) = self.faults.as_mut() {
+                    match fs.admit(from, to, at) {
+                        Admit::Drop => return true,
+                        Admit::Defer(until) => {
+                            let when = until.max(at + Time::from_nanos(1));
+                            self.queue.push(when, Ev::Deliver { from, to, msg });
+                            return true;
+                        }
+                        Admit::Deliver => {}
+                    }
+                }
                 self.collector.on_message(msg.kind(), msg.weight());
                 let node = &mut self.nodes[to];
                 node.ctx.set_now(self.now);
@@ -379,6 +423,16 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
                 self.post_dispatch(to);
             }
             Ev::Think { node: i } => {
+                // A down node (paused or crashed) does not run its
+                // application lifecycle; the timer resumes at restart.
+                if let Some(fs) = self.faults.as_mut() {
+                    if let Some((_, until)) = fs.outage(i, at) {
+                        fs.stats.deferred += 1;
+                        let when = until.max(at + Time::from_nanos(1));
+                        self.queue.push(when, Ev::Think { node: i });
+                        return true;
+                    }
+                }
                 if self.now >= self.stop_issuing {
                     self.nodes[i].driver.park();
                     return true;
@@ -399,6 +453,16 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
                 self.post_dispatch(i);
             }
             Ev::CsEnd { node: i } => {
+                if let Some(fs) = self.faults.as_mut() {
+                    if let Some((_, until)) = fs.outage(i, at) {
+                        // The frozen node holds its resources through the
+                        // outage; it releases at restart.
+                        fs.stats.deferred += 1;
+                        let when = until.max(at + Time::from_nanos(1));
+                        self.queue.push(when, Ev::CsEnd { node: i });
+                        return true;
+                    }
+                }
                 self.collector.on_release(i, self.now);
                 self.monitor.exit(i);
                 let node = &mut self.nodes[i];
@@ -444,8 +508,11 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
         // Sanity: a *naturally* exhausted event queue (no horizon cut) with
         // a node still waiting is a genuine deadlock — nothing can ever
         // unblock it.  A horizon cut is not: the unblocking event may have
-        // been dropped.
-        if !self.horizon_cut && self.queue.is_empty() {
+        // been dropped.  Neither is a lossy fault plan: a dropped token
+        // legitimately starves its waiters (the starvation shows up as
+        // `censored` requests instead).
+        let lossy = self.faults.as_ref().is_some_and(|f| f.plan().is_lossy());
+        if !self.horizon_cut && self.queue.is_empty() && !lossy {
             for i in 0..active {
                 if self.nodes[i].driver.state() == DriverState::Waiting {
                     panic!(
@@ -457,9 +524,11 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
             }
         }
 
+        let fault_stats = self.fault_stats();
         let mut res = self.collector.finish(&algo, self.n, self.now.min(self.end_at));
         res.events_processed = self.events;
         res.wall_ns = wall_ns;
+        res.faults = fault_stats;
         res
     }
 }
@@ -606,6 +675,122 @@ mod tests {
         let mut sim = Sim::new(cfg.build_nodes(), fixed(2, 4, 1), 4, SimConfig::quick(1));
         sim.init();
         sim.init();
+    }
+
+    #[test]
+    fn clean_and_dup_only_fault_plans_change_nothing_observable() {
+        let run = |plan: Option<FaultPlan>| {
+            let cfg = LassConfig::with_loan(4, 8);
+            let mut sim = Sim::new(cfg.build_nodes(), fixed(4, 8, 2), 8, SimConfig::quick(17));
+            if let Some(p) = plan {
+                sim.set_fault_plan(p);
+            }
+            sim.run()
+        };
+        let bare = run(None);
+        let clean = run(Some(FaultPlan::new(99)));
+        let dup = run(Some(FaultPlan::new(99).dup_rate(0.5)));
+        for other in [&clean, &dup] {
+            assert_eq!(bare.cs_completed, other.cs_completed);
+            assert_eq!(bare.msgs_total, other.msgs_total);
+            assert_eq!(
+                bare.wait_stats().mean_ms,
+                other.wait_stats().mean_ms,
+                "fault bookkeeping leaked into protocol timing"
+            );
+        }
+        assert_eq!(clean.faults, FaultStats::default());
+        assert!(dup.faults.duplicated > 0);
+        assert_eq!(dup.faults.duplicated, dup.faults.deduped);
+        assert_eq!(dup.faults.dropped_total(), 0);
+    }
+
+    #[test]
+    fn lossy_plan_degrades_throughput_deterministically_and_safely() {
+        let run = |loss: f64| {
+            let cfg = LassConfig::with_loan(4, 8);
+            let mut sim = Sim::new(cfg.build_nodes(), fixed(4, 8, 2), 8, SimConfig::quick(5));
+            sim.set_fault_plan(FaultPlan::new(7).drop_rate(loss));
+            sim.run()
+        };
+        let clean = run(0.0);
+        let lossy = run(0.15);
+        assert!(lossy.faults.dropped_link > 0);
+        assert!(
+            lossy.cs_completed < clean.cs_completed,
+            "15% loss should cost critical sections: {} vs {}",
+            lossy.cs_completed,
+            clean.cs_completed
+        );
+        // Deterministic: the identical faulty run reproduces exactly.
+        let again = run(0.15);
+        assert_eq!(lossy.cs_completed, again.cs_completed);
+        assert_eq!(lossy.msgs_total, again.msgs_total);
+        assert_eq!(lossy.faults, again.faults);
+    }
+
+    #[test]
+    fn pause_outage_defers_and_still_completes_everything() {
+        let plan = FaultPlan::new(3).pause(
+            1,
+            Time::from_millis(200),
+            Time::from_millis(400),
+        );
+        let cfg = LassConfig::with_loan(4, 8);
+        let mut sim = Sim::new(cfg.build_nodes(), fixed(4, 8, 2), 8, SimConfig::quick(29));
+        sim.set_fault_plan(plan);
+        let res = sim.run();
+        // Pause is non-lossy: the liveness check stays armed and passes;
+        // the node was frozen for 200 ms of a 1 s window.
+        assert!(res.faults.deferred > 0);
+        assert!(res.cs_completed > 20);
+        assert_eq!(res.faults.dropped_total(), 0);
+    }
+
+    #[test]
+    fn crash_window_loses_inbound_messages() {
+        let plan = FaultPlan::new(3).crash(
+            0,
+            Time::from_millis(200),
+            Time::from_millis(300),
+        );
+        let cfg = LassConfig::with_loan(4, 8);
+        let mut sim = Sim::new(cfg.build_nodes(), fixed(4, 8, 2), 8, SimConfig::quick(31));
+        sim.set_fault_plan(plan);
+        let res = sim.run();
+        assert!(res.faults.dropped_crash > 0);
+        assert!(res.cs_completed > 0);
+    }
+
+    #[test]
+    fn partition_with_heal_degrades_but_does_not_panic() {
+        // Nodes {0,1} cut off from {2,3} for half the window; crossing
+        // messages are lost, so some requests starve (censored) — but
+        // safety holds and the run completes.
+        let plan = FaultPlan::new(11).partition(
+            vec![0, 1],
+            Time::from_millis(300),
+            Time::from_millis(800),
+        );
+        let clean = {
+            let cfg = LassConfig::with_loan(4, 8);
+            Sim::new(cfg.build_nodes(), fixed(4, 8, 2), 8, SimConfig::quick(37)).run()
+        };
+        let cfg = LassConfig::with_loan(4, 8);
+        let mut sim = Sim::new(cfg.build_nodes(), fixed(4, 8, 2), 8, SimConfig::quick(37));
+        sim.set_fault_plan(plan);
+        let cut = sim.run();
+        assert!(cut.faults.dropped_partition > 0);
+        assert!(cut.cs_completed < clean.cs_completed);
+    }
+
+    #[test]
+    #[should_panic(expected = "before init()")]
+    fn fault_plan_rejected_after_init() {
+        let cfg = LassConfig::with_loan(2, 4);
+        let mut sim = Sim::new(cfg.build_nodes(), fixed(2, 4, 1), 4, SimConfig::quick(1));
+        sim.init();
+        sim.set_fault_plan(FaultPlan::new(1));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! libtest harness itself) cannot pollute the measurement.
 
 use mra_protocol::testkit::EchoProbe;
+use mra_sim::faults::FaultPlan;
 use mra_sim::{FixedWorkload, LatencyModel, Sim, SimConfig};
 use mra_types::Time;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -52,10 +53,35 @@ fn allocs_on_this_thread() -> u64 {
 
 #[test]
 fn steady_state_deliver_dispatch_is_allocation_free() {
+    assert_zero_alloc_dispatch(None, 3);
+}
+
+/// Same guard with a [`FaultPlan`] installed: the fault admission path
+/// (outage scan, partition scan, two counter-hash verdicts per frame,
+/// stats counters) must not allocate either.  The plan exercises every
+/// branch shape: probabilistic drop + dup on all links, a partition window
+/// and a pause window scheduled far beyond the measured horizon so their
+/// checks run on every event without ever killing the echo traffic.
+#[test]
+fn steady_state_dispatch_with_fault_plan_is_allocation_free() {
+    let far = Time::from_secs(3000);
+    let later = Time::from_secs(3100);
+    let plan = FaultPlan::new(0xFA17)
+        // Small enough that of ~120 in-flight echo balls only a handful
+        // die over the measured 20k events; dup verdicts are pure counting.
+        .drop_rate(0.0005)
+        .dup_rate(0.2)
+        .partition(vec![0, 1], far, later)
+        .pause(2, far, later);
+    // Fan 40: node 0 seeds 40 balls per peer = 120 concurrent ping-pongs.
+    assert_zero_alloc_dispatch(Some(plan), 40);
+}
+
+fn assert_zero_alloc_dispatch(plan: Option<FaultPlan>, fan: u64) {
     let n = 4;
     // Several balls in flight exercise the slab free list beyond the
     // single-slot case.
-    let protos: Vec<EchoProbe> = (0..n).map(|me| EchoProbe::new(me, 3)).collect();
+    let protos: Vec<EchoProbe> = (0..n).map(|me| EchoProbe::new(me, fan)).collect();
     let workloads: Vec<FixedWorkload> = (0..n)
         .map(|_| FixedWorkload {
             think: Time::from_millis(1),
@@ -73,6 +99,9 @@ fn steady_state_deliver_dispatch_is_allocation_free() {
     cfg.active_nodes = Some(0);
 
     let mut sim = Sim::new(protos, workloads, 4, cfg);
+    if let Some(p) = plan {
+        sim.set_fault_plan(p);
+    }
     sim.init();
 
     // Warmup: grow every buffer (outbox, heap, slab, kind table) to its

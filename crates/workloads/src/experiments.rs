@@ -13,9 +13,10 @@
 //! sequential run) — control the worker count with `MRA_THREADS`.
 
 use crate::pool;
-use crate::runner::{run, Algorithm};
+use crate::runner::{run, run_with_faults, Algorithm};
 use crate::scenario::{Load, Scenario};
 use crate::table::Table;
+use mra_sim::faults::FaultPlan;
 use mra_sim::WaitStats;
 
 /// Measurement window (seconds) honoring `MRA_MEASURE_SECS` / `MRA_FAST`,
@@ -290,6 +291,136 @@ pub fn fig7_tables(rows: &[Fig7Row]) -> Vec<Table> {
     tables
 }
 
+/// The loss-rate grid of the fault-robustness sweep (`fig_faults`).  The
+/// protocols have **no retransmission layer** (the paper assumes reliable
+/// links), so under *sustained* loss every node eventually hits a fatal
+/// drop on its request path and starves for the rest of the run: the
+/// interesting regime is per-mille frame loss, where the window shows
+/// partial degradation before the collapse cliff.  0 anchors the
+/// degradation baseline.  (The fault *property tests* separately push
+/// drops to 20% on short quota workloads, where starvation is tolerated
+/// and only safety/conservation are asserted.)
+pub const FIG_FAULTS_LOSSES: [f64; 6] = [0.0, 1e-4, 2.5e-4, 5e-4, 1e-3, 2e-3];
+
+/// One point of the fault sweep: one algorithm at one loss rate.
+#[derive(Clone, Debug)]
+pub struct FaultRow {
+    /// Per-link frame drop probability.
+    pub loss: f64,
+    /// Algorithm.
+    pub algo: Algorithm,
+    /// Critical sections completed in the window.
+    pub cs_completed: u64,
+    /// Completed CS per simulated second (the throughput the degradation
+    /// column is computed from).
+    pub cs_per_sec: f64,
+    /// Requests issued in the window but never granted (starved by loss).
+    pub censored: u64,
+    /// Frames the fault layer dropped.
+    pub dropped: u64,
+    /// Throughput lost vs the same algorithm's zero-loss baseline, in
+    /// percent (0 at the baseline itself; `NaN` if the baseline is empty).
+    pub degradation_pct: f64,
+}
+
+/// Fault-robustness sweep: loss rate × algorithm (all six protocol
+/// families) on an 8-node paper-LAN scenario, measuring how CS throughput
+/// degrades as the network loses frames.  `fault_seed` seeds the
+/// deterministic drop decisions (`MRA_FAULT_SEED` in the binary); the
+/// workload seed stays separate so loss is the *only* difference between
+/// grid columns.  Grid points run in parallel (`MRA_THREADS`), output in
+/// input order.
+pub fn fig_faults(
+    losses: &[f64],
+    seed: u64,
+    fault_seed: u64,
+    measure_secs: f64,
+) -> Vec<FaultRow> {
+    let mut grid = Vec::new();
+    for &loss in losses {
+        for algo in Algorithm::fault_set() {
+            grid.push((loss, algo));
+        }
+    }
+    let mut rows = pool::sweep(grid, |(loss, algo)| {
+        let sc = Scenario::builder()
+            .nodes(8)
+            .resources(16)
+            .max_request_size(3)
+            .load(Load::High)
+            .seed(seed)
+            .measure_secs(measure_secs)
+            .build();
+        let plan = FaultPlan::new(fault_seed).drop_rate(loss);
+        let res = run_with_faults(algo, &sc, Some(&plan));
+        FaultRow {
+            loss,
+            algo,
+            cs_completed: res.cs_completed,
+            // Normalized by the *nominal* window, not `res.window`: when
+            // every node starves early the collector clamps the window to
+            // the death instant, which would inflate the rate of a run
+            // that did almost no work.
+            cs_per_sec: res.cs_completed as f64 / measure_secs,
+            censored: res.censored,
+            dropped: res.faults.dropped_total(),
+            degradation_pct: f64::NAN, // filled below against the baseline
+        }
+    });
+    // Baseline per algorithm: the row at the smallest swept loss rate
+    // (conventionally 0).
+    let base_loss = losses.iter().copied().fold(f64::INFINITY, f64::min);
+    for algo in Algorithm::fault_set() {
+        let base = rows
+            .iter()
+            .find(|r| r.algo == algo && r.loss == base_loss)
+            .map(|r| r.cs_per_sec)
+            .unwrap_or(0.0);
+        for r in rows.iter_mut().filter(|r| r.algo == algo) {
+            r.degradation_pct = if base > 0.0 {
+                100.0 * (1.0 - r.cs_per_sec / base)
+            } else {
+                f64::NAN
+            };
+        }
+    }
+    rows
+}
+
+/// Render the fault sweep in matrix layout: one row per loss rate, one
+/// column per algorithm showing `cs_completed (degradation%)`.
+pub fn fig_faults_table(rows: &[FaultRow]) -> Table {
+    let mut header: Vec<String> = vec!["loss".into()];
+    header.extend(Algorithm::fault_set().iter().map(|a| a.label().to_string()));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "fig_faults: CS throughput degradation vs frame loss",
+        &header_refs,
+    );
+    let mut losses: Vec<f64> = rows.iter().map(|r| r.loss).collect();
+    losses.sort_by(|a, b| a.total_cmp(b));
+    losses.dedup();
+    for loss in losses {
+        let mut cells = vec![format!("{:.3}%", 100.0 * loss)];
+        for algo in Algorithm::fault_set() {
+            let cell = rows
+                .iter()
+                .find(|r| r.loss == loss && r.algo == algo)
+                .map(|r| {
+                    if r.degradation_pct.is_nan() {
+                        format!("{} (-)", r.cs_completed)
+                    } else {
+                        format!("{} (-{:.0}%)", r.cs_completed, r.degradation_pct.max(0.0))
+                    }
+                })
+                .unwrap_or_else(|| "-".into());
+            cells.push(cell);
+        }
+        t.row(cells);
+    }
+    t
+}
+
 /// Loan-threshold ablation (the paper's §6 future work): use rate and mean
 /// wait as the threshold grows, at a given φ and load.
 pub fn ablation_loan(
@@ -409,5 +540,31 @@ mod tests {
     #[test]
     fn measure_default_is_positive() {
         assert!(measure_secs_default() > 0.0);
+    }
+
+    #[test]
+    fn fig_faults_smoke() {
+        let rows = fig_faults(&[0.0, 0.01], 3, 0xFA17, 0.4);
+        // 2 loss rates × 6 algorithms.
+        assert_eq!(rows.len(), 12);
+        for r in rows.iter().filter(|r| r.loss == 0.0) {
+            assert_eq!(r.dropped, 0);
+            assert!((r.degradation_pct - 0.0).abs() < 1e-9, "baseline degrades");
+        }
+        for r in rows.iter().filter(|r| r.loss > 0.0) {
+            assert!(r.dropped > 0, "{:?} saw no drops at 1% loss", r.algo);
+        }
+        // Sustained 1% loss is far past the collapse cliff of these
+        // retransmission-free protocols: throughput must suffer.
+        let cs = |loss: f64, algo: Algorithm| {
+            rows.iter()
+                .find(|r| r.loss == loss && r.algo == algo)
+                .unwrap()
+                .cs_completed
+        };
+        assert!(cs(0.01, Algorithm::LassLoan) < cs(0.0, Algorithm::LassLoan));
+        let table = fig_faults_table(&rows).render();
+        assert!(table.contains("fig_faults"), "{table}");
+        assert!(table.contains("1.000%"), "{table}");
     }
 }

@@ -5,7 +5,9 @@ use crate::scenario::Scenario;
 use crate::workload::PaperWorkload;
 use mra_baselines::{BouabdallahLaforest, Central, GrantPolicy, Incremental, Maddi};
 use mra_core::LassConfig;
-use mra_sim::{RunResult, Sim};
+use mra_protocol::Allocator;
+use mra_sim::faults::FaultPlan;
+use mra_sim::{RunResult, Sim, SimConfig};
 
 /// The algorithms of the evaluation (paper §5) plus the extensions.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -52,6 +54,19 @@ impl Algorithm {
         ]
     }
 
+    /// The six algorithms of the fault-robustness matrix (`fig_faults`
+    /// and the fault property tests): every distinct protocol family.
+    pub fn fault_set() -> [Algorithm; 6] {
+        [
+            Algorithm::Incremental,
+            Algorithm::BouabdallahLaforest,
+            Algorithm::LassNoLoan,
+            Algorithm::LassLoan,
+            Algorithm::Central,
+            Algorithm::Maddi,
+        ]
+    }
+
     /// The three bars of Fig. 6 / Fig. 7.
     pub fn fig6_set() -> [Algorithm; 3] {
         [
@@ -68,37 +83,52 @@ impl Algorithm {
 /// scheduler runs with zero latency and a passive coordinator node,
 /// matching the paper's "no network communication" framing.
 pub fn run(algo: Algorithm, sc: &Scenario) -> RunResult {
+    run_with_faults(algo, sc, None)
+}
+
+/// Build the fleet, optionally install the fault plan, run, collect.
+fn launch<A: Allocator>(
+    nodes: Vec<A>,
+    workload_slots: usize,
+    sc: &Scenario,
+    cfg: SimConfig,
+    faults: Option<&FaultPlan>,
+) -> RunResult {
+    let mut sim = Sim::new(nodes, PaperWorkload::per_node(sc, workload_slots), sc.m, cfg);
+    if let Some(plan) = faults {
+        sim.set_fault_plan(plan.clone());
+    }
+    sim.run()
+}
+
+/// [`run`] with an optional [`FaultPlan`] threaded into the simulator —
+/// the entry point of the fault-robustness experiments (`fig_faults`).
+/// Under a lossy plan requests may starve; the degradation shows up as
+/// fewer completed critical sections and a non-zero `censored` count.
+pub fn run_with_faults(
+    algo: Algorithm,
+    sc: &Scenario,
+    faults: Option<&FaultPlan>,
+) -> RunResult {
     match algo {
         Algorithm::Incremental => {
             let nodes = Incremental::build_nodes(sc.n, sc.m);
-            Sim::new(nodes, PaperWorkload::per_node(sc, sc.n), sc.m, sc.sim_config()).run()
+            launch(nodes, sc.n, sc, sc.sim_config(), faults)
         }
         Algorithm::BouabdallahLaforest => {
             let nodes = BouabdallahLaforest::build_nodes(sc.n, sc.m);
-            Sim::new(nodes, PaperWorkload::per_node(sc, sc.n), sc.m, sc.sim_config()).run()
+            launch(nodes, sc.n, sc, sc.sim_config(), faults)
         }
         Algorithm::LassNoLoan => {
             let mut cfg = LassConfig::without_loan(sc.n, sc.m);
             cfg.policy = sc.policy;
-            Sim::new(
-                cfg.build_nodes(),
-                PaperWorkload::per_node(sc, sc.n),
-                sc.m,
-                sc.sim_config(),
-            )
-            .run()
+            launch(cfg.build_nodes(), sc.n, sc, sc.sim_config(), faults)
         }
         Algorithm::LassLoan => {
             let mut cfg = LassConfig::with_loan(sc.n, sc.m);
             cfg.policy = sc.policy;
             cfg.loan = Some(sc.loan_threshold);
-            Sim::new(
-                cfg.build_nodes(),
-                PaperWorkload::per_node(sc, sc.n),
-                sc.m,
-                sc.sim_config(),
-            )
-            .run()
+            launch(cfg.build_nodes(), sc.n, sc, sc.sim_config(), faults)
         }
         Algorithm::Central | Algorithm::CentralGreedy => {
             let policy = if algo == Algorithm::Central {
@@ -110,11 +140,11 @@ pub fn run(algo: Algorithm, sc: &Scenario) -> RunResult {
             let mut cfg = sc.sim_config_zero_latency();
             cfg.active_nodes = Some(sc.n);
             // One extra (passive) workload slot for the coordinator.
-            Sim::new(nodes, PaperWorkload::per_node(sc, sc.n + 1), sc.m, cfg).run()
+            launch(nodes, sc.n + 1, sc, cfg, faults)
         }
         Algorithm::Maddi => {
             let nodes = Maddi::build_nodes(sc.n, sc.m);
-            Sim::new(nodes, PaperWorkload::per_node(sc, sc.n), sc.m, sc.sim_config()).run()
+            launch(nodes, sc.n, sc, sc.sim_config(), faults)
         }
     }
 }
@@ -169,6 +199,22 @@ mod tests {
             central > 0.8 * bl,
             "central {central:.3} unexpectedly far below BL {bl:.3}"
         );
+    }
+
+    #[test]
+    fn faulty_run_degrades_and_clean_plan_matches_no_plan() {
+        let sc = small(3, Load::High, 8);
+        let bare = run(Algorithm::LassLoan, &sc);
+        let clean = run_with_faults(Algorithm::LassLoan, &sc, Some(&FaultPlan::new(1)));
+        assert_eq!(bare.cs_completed, clean.cs_completed);
+        assert_eq!(bare.msgs_total, clean.msgs_total);
+        let lossy = run_with_faults(
+            Algorithm::LassLoan,
+            &sc,
+            Some(&FaultPlan::new(1).drop_rate(0.2)),
+        );
+        assert!(lossy.faults.dropped_link > 0);
+        assert!(lossy.cs_completed < bare.cs_completed);
     }
 
     #[test]

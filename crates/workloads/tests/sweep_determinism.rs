@@ -6,7 +6,9 @@
 //! Both tests live in one function so the `MRA_THREADS` environment
 //! mutation cannot race another test in this binary.
 
-use mra_workloads::experiments::{fig5, fig5_tables, fig6, fig6_table};
+use mra_workloads::experiments::{
+    fig5, fig5_tables, fig6, fig6_table, fig_faults, fig_faults_table,
+};
 use mra_workloads::{pool, Load, Table};
 
 /// Render the exact artifacts the fig5 binary emits for a small grid: the
@@ -31,6 +33,37 @@ fn fig5_artifacts(seed: u64) -> (String, String) {
     (tables, csv.to_csv())
 }
 
+/// Render the exact artifacts the fig_faults binary emits for a small
+/// loss grid: the matrix table plus the long-format CSV.
+fn fig_faults_artifacts(seed: u64) -> (String, String) {
+    let rows = fig_faults(&[0.0, 0.05, 0.2], seed, 0xFA17, 0.3);
+    let table = fig_faults_table(&rows).render();
+    let mut csv = Table::new(
+        "fig_faults",
+        &[
+            "loss",
+            "algorithm",
+            "cs_completed",
+            "cs_per_sec",
+            "degradation_pct",
+            "censored",
+            "dropped_frames",
+        ],
+    );
+    for r in &rows {
+        csv.row(vec![
+            format!("{:.5}", r.loss),
+            r.algo.label().into(),
+            r.cs_completed.to_string(),
+            format!("{:.2}", r.cs_per_sec),
+            format!("{:.2}", r.degradation_pct),
+            r.censored.to_string(),
+            r.dropped.to_string(),
+        ]);
+    }
+    (table, csv.to_csv())
+}
+
 #[test]
 fn mra_threads_4_is_byte_identical_to_mra_threads_1() {
     // Through the real `MRA_THREADS` plumbing (what CI and users set).
@@ -38,17 +71,29 @@ fn mra_threads_4_is_byte_identical_to_mra_threads_1() {
     assert_eq!(pool::configured_threads(), 1);
     let (tables_seq, csv_seq) = fig5_artifacts(42);
     let fig6_seq = fig6_table(&fig6(&[Load::Medium, Load::High], 42, 0.3)).render();
+    let (faults_tbl_seq, faults_csv_seq) = fig_faults_artifacts(42);
 
     std::env::set_var("MRA_THREADS", "4");
     assert_eq!(pool::configured_threads(), 4);
     let (tables_par, csv_par) = fig5_artifacts(42);
     let fig6_par = fig6_table(&fig6(&[Load::Medium, Load::High], 42, 0.3)).render();
+    let (faults_tbl_par, faults_csv_par) = fig_faults_artifacts(42);
     std::env::remove_var("MRA_THREADS");
 
     assert_eq!(tables_seq, tables_par, "fig5 tables diverged across thread counts");
     assert_eq!(csv_seq, csv_par, "fig5 CSV diverged across thread counts");
     assert_eq!(fig6_seq, fig6_par, "fig6 table diverged across thread counts");
+    assert_eq!(
+        faults_tbl_seq, faults_tbl_par,
+        "fig_faults table diverged across thread counts"
+    );
+    assert_eq!(
+        faults_csv_seq, faults_csv_par,
+        "fig_faults CSV diverged across thread counts"
+    );
     // Sanity: this is real output, not two empty strings agreeing.
     assert!(csv_seq.lines().count() > 30);
     assert!(tables_seq.contains("Fig.5(high)"));
+    assert!(faults_csv_seq.lines().count() > 12);
+    assert!(faults_tbl_seq.contains("fig_faults"));
 }

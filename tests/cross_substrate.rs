@@ -1,0 +1,166 @@
+//! Cross-substrate conformance: one fixed scenario — 8 nodes, 16
+//! resources, paper LAN latency (γ = 0.6 ms where the substrate has a
+//! clock), seed 42, fault-free plan — runs on the three in-process
+//! substrates (`VirtualNet`, the discrete-event `Sim`, the mpsc threaded
+//! runtime) and they must agree on `cs_entered` **per node**.
+//!
+//! The substrates cannot share a message schedule (one has no clock, one
+//! has a virtual clock, one real threads), so agreement is made exact by
+//! running a *quota* workload: every node performs exactly `ROUNDS`
+//! request/CS/release cycles.  Safety + liveness on each substrate then
+//! force the identical per-node count — any double grant, lost grant or
+//! phantom CS on any substrate breaks the equality (and the shared
+//! `SafetyMonitor` panics long before).
+
+use mra::core::LassConfig;
+use mra::baselines::BouabdallahLaforest;
+use mra::protocol::faults::FaultPlan;
+use mra::protocol::testkit::{run_random_workload, ExerciseCfg, VirtualNet};
+use mra::protocol::Allocator;
+use mra::sim::{
+    run_threaded, FixedWorkload, LatencyModel, RunResult, Sim, SimConfig, ThreadedConfig,
+    Workload,
+};
+use mra::types::{ResourceSet, Time};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 8;
+const M: usize = 16;
+const SEED: u64 = 42;
+const ROUNDS: usize = 4;
+
+/// [`FixedWorkload`] with a request quota: after `left` draws the node
+/// thinks forever, so a window-based engine (the simulator) runs exactly
+/// the quota-based scenario the other substrates run natively.
+struct QuotaWorkload {
+    left: usize,
+    inner: FixedWorkload,
+}
+
+impl Workload for QuotaWorkload {
+    fn think_time(&mut self, rng: &mut StdRng) -> Time {
+        if self.left == 0 {
+            // Past the simulation horizon: this node is done.
+            Time::from_secs(10_000)
+        } else {
+            self.inner.think_time(rng)
+        }
+    }
+    fn next_request(&mut self, rng: &mut StdRng) -> (ResourceSet, Time) {
+        self.left -= 1;
+        self.inner.next_request(rng)
+    }
+}
+
+fn fixed() -> FixedWorkload {
+    FixedWorkload {
+        think: Time::from_millis(5),
+        cs: Time::from_millis(3),
+        m: M,
+        size: 3,
+    }
+}
+
+/// Completed critical sections per node, from the run's request records.
+fn per_node(res: &RunResult) -> Vec<usize> {
+    (0..N)
+        .map(|i| {
+            res.records
+                .iter()
+                .filter(|r| r.node == i && r.granted.is_some())
+                .count()
+        })
+        .collect()
+}
+
+fn conformance<A, F>(build: F)
+where
+    A: Allocator + Send + 'static,
+    F: Fn() -> Vec<A>,
+{
+    // Substrate 1: the synchronous virtual network (no clock — the quota
+    // lives in the exercise config).  `run_random_workload` asserts full
+    // completion, and the per-node quota caps each node at ROUNDS, so
+    // completing N × ROUNDS total *is* the per-node vector [ROUNDS; N].
+    let mut net = VirtualNet::new(build(), M);
+    net.install_faults(&FaultPlan::new(SEED)); // the fault-free plan
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let vnet_rep = run_random_workload(
+        &mut net,
+        &ExerciseCfg {
+            rounds_per_node: ROUNDS,
+            max_req_size: 3,
+            m: M,
+            hold_steps: 2,
+            active_nodes: None,
+            step_cap: 2_000_000,
+        },
+        &mut rng,
+    );
+    assert_eq!(vnet_rep.cs_completed as usize, N * ROUNDS);
+    net.monitor.assert_conservation();
+    let vnet_counts = vec![ROUNDS; N];
+
+    // Substrate 2: the discrete-event simulator, paper LAN latency,
+    // fault-free plan installed (it must change nothing).
+    let sim_counts = {
+        let workloads: Vec<QuotaWorkload> = (0..N)
+            .map(|_| QuotaWorkload {
+                left: ROUNDS,
+                inner: fixed(),
+            })
+            .collect();
+        let cfg = SimConfig {
+            latency: LatencyModel::paper_lan(),
+            seed: SEED,
+            warmup: Time::ZERO,
+            measure: Time::from_secs(60),
+            drain: Time::from_secs(60),
+            active_nodes: None,
+            max_events: 200_000_000,
+        };
+        let mut sim = Sim::new(build(), workloads, M, cfg);
+        sim.set_fault_plan(FaultPlan::new(SEED));
+        let res = sim.run();
+        assert_eq!(res.censored, 0, "simulator starved a quota request");
+        per_node(&res)
+    };
+
+    // Substrate 3: the mpsc threaded runtime (real concurrency, emulated
+    // γ = 0.6 ms links), natively quota-based.
+    let mpsc_counts = {
+        let res = run_threaded(
+            build(),
+            (0..N).map(|_| fixed()).collect::<Vec<_>>(),
+            M,
+            ThreadedConfig {
+                rounds: ROUNDS,
+                latency: Time::from_micros(600),
+                seed: SEED,
+                active_nodes: None,
+            },
+        );
+        assert_eq!(res.censored, 0);
+        per_node(&res)
+    };
+
+    assert_eq!(
+        sim_counts, vnet_counts,
+        "Sim disagrees with VirtualNet on cs_entered per node"
+    );
+    assert_eq!(
+        mpsc_counts, vnet_counts,
+        "mpsc runtime disagrees with VirtualNet on cs_entered per node"
+    );
+}
+
+#[test]
+fn lass_cs_entered_per_node_agrees_across_substrates() {
+    conformance(|| LassConfig::with_loan(N, M).build_nodes());
+}
+
+#[test]
+fn bouabdallah_laforest_cs_entered_per_node_agrees_across_substrates() {
+    conformance(|| BouabdallahLaforest::build_nodes(N, M));
+}

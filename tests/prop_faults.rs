@@ -1,0 +1,132 @@
+//! Fault property-test matrix: every algorithm of the evaluation runs
+//! random workloads under random **lossy and duplicating** fault plans
+//! (drops up to 20%, duplicates up to 20% — no permanent partitions), and
+//! the imperfect-network invariants must hold:
+//!
+//! * **safety** — the `SafetyMonitor` never fires (Theorem 1 must survive
+//!   message loss: a lost message may starve a node, never double-grant);
+//! * **conservation** — after quiescence no granted resource leaks: every
+//!   CS entry was matched by an exit and the holder table is empty
+//!   (asserted inside [`run_faulty_workload`]);
+//! * **fault-aware liveness** — starvation is tolerated *only* under a
+//!   lossy plan; with drops disabled every request must complete.
+//!
+//! The fault decisions are counter-hashed from the plan seed
+//! (`mra_protocol::faults`), so every failing case replays exactly.
+
+use mra::baselines::{BouabdallahLaforest, Central, GrantPolicy, Incremental, Maddi};
+use mra::core::LassConfig;
+use mra::protocol::faults::FaultPlan;
+use mra::protocol::testkit::{run_faulty_workload, ExerciseCfg, FaultyReport, VirtualNet};
+use mra::protocol::Allocator;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Run one protocol fleet under `plan`; safety, conservation and
+/// fault-aware liveness are asserted inside the harness.
+fn exercise<A: Allocator>(
+    nodes: Vec<A>,
+    m: usize,
+    active: Option<usize>,
+    phi: usize,
+    plan: &FaultPlan,
+    seed: u64,
+) -> FaultyReport {
+    let mut net = VirtualNet::new(nodes, m);
+    net.install_faults(plan);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = ExerciseCfg {
+        rounds_per_node: 3,
+        max_req_size: phi.min(m).max(1),
+        m,
+        hold_steps: 2,
+        active_nodes: active,
+        step_cap: 2_000_000,
+    };
+    run_faulty_workload(&mut net, &cfg, &mut rng)
+}
+
+/// One full sweep of the six-algorithm matrix under one plan.  Returns the
+/// per-algorithm completed counts (for the lossless cross-check).
+fn matrix(n: usize, m: usize, phi: usize, plan: &FaultPlan, seed: u64) -> Vec<u64> {
+    let mut lass_loan = LassConfig::with_loan(n, m);
+    lass_loan.loan = Some(1);
+    let reports = [
+        exercise(Incremental::build_nodes(n, m), m, None, phi, plan, seed),
+        exercise(BouabdallahLaforest::build_nodes(n, m), m, None, phi, plan, seed),
+        exercise(
+            LassConfig::without_loan(n, m).build_nodes(),
+            m,
+            None,
+            phi,
+            plan,
+            seed,
+        ),
+        exercise(lass_loan.build_nodes(), m, None, phi, plan, seed),
+        // `build_nodes(n)` appends one passive coordinator node.
+        exercise(
+            Central::build_nodes(n, GrantPolicy::Conservative),
+            m,
+            Some(n),
+            phi,
+            plan,
+            seed,
+        ),
+        exercise(Maddi::build_nodes(n, m), m, None, phi, plan, seed),
+    ];
+    reports.iter().map(|r| r.cs_completed).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The headline matrix: arbitrary shapes, drops and duplicates up to
+    /// 20% each — no safety violation, no post-quiesce resource leak, for
+    /// all six algorithms.
+    #[test]
+    fn all_six_algorithms_safe_and_leak_free_under_drops_and_dups(
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        drop in 0.0f64..0.20,
+        dup in 0.0f64..0.20,
+        n in 3usize..6,
+        m in 3usize..9,
+        phi in 1usize..4,
+    ) {
+        let plan = FaultPlan::new(fault_seed).drop_rate(drop).dup_rate(dup);
+        let _ = matrix(n, m, phi, &plan, seed);
+    }
+
+    /// Duplicates alone (no loss anywhere) must cost nothing: the dedup
+    /// layer absorbs them and every request completes — for all six.
+    #[test]
+    fn dup_only_plans_complete_every_request(
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        dup in 0.0f64..0.20,
+        n in 3usize..6,
+        m in 3usize..9,
+    ) {
+        let plan = FaultPlan::new(fault_seed).dup_rate(dup);
+        let completed = matrix(n, m, 3, &plan, seed);
+        // 3 rounds per active node; Central runs n active clients too.
+        for (i, &c) in completed.iter().enumerate() {
+            prop_assert_eq!(c as usize, 3 * n, "algorithm #{} lost work", i);
+        }
+    }
+
+    /// The hard-loss corner: drop rates beyond anything realistic must
+    /// still never violate safety or leak a granted resource.
+    #[test]
+    fn heavy_loss_is_starvation_not_unsafety(
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        drop in 0.20f64..0.75,
+        n in 3usize..5,
+        m in 3usize..7,
+    ) {
+        let plan = FaultPlan::new(fault_seed).drop_rate(drop);
+        let _ = matrix(n, m, 2, &plan, seed);
+    }
+}
