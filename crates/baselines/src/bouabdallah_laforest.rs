@@ -28,12 +28,24 @@ use mra_types::{NodeId, ResourceId, ResourceSet};
 use std::fmt;
 
 /// One entry of the control token.
+///
+/// A `Last` entry carries the **registration epoch**: the sequence number
+/// of the registration that wrote it (strictly increasing per resource,
+/// serialized by the control token).  Every `INQUIRE` cites the epoch it
+/// chases, and a holder only surrenders a kept token to the inquirer of
+/// the epoch the token was held under.  Without the epoch, a node that
+/// kept a token, re-registered, and then received a *later* registrant's
+/// inquire before the overdue inquire of an *earlier* registrant would
+/// hand the token out of chain order — corrupting the per-resource waiting
+/// chain into a cycle (a real deadlock, first reproduced by the reliable
+/// session layer's maximally-late retransmission of a dropped inquire).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CtEntry {
     /// The resource token itself is stored in the control token.
     Token,
-    /// The resource token is (or will be) held by this last requester.
-    Last(NodeId),
+    /// The resource token is (or will be) held by this last requester,
+    /// registered at this epoch.
+    Last(NodeId, u64),
 }
 
 /// The control token: one entry per resource.
@@ -63,6 +75,10 @@ pub enum BlMsg {
         r: ResourceId,
         /// The requester (new last requester).
         from: NodeId,
+        /// The registration epoch this inquire chases (the `CtEntry::Last`
+        /// seq read at registration time): the receiver hands its kept
+        /// token over only if it holds it *under this epoch*.
+        pred: u64,
     },
     /// The resource token of `r`, travelling along the inquire chain.
     ResTok {
@@ -75,7 +91,9 @@ impl fmt::Debug for BlMsg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BlMsg::Nt(m) => write!(f, "BL::{m:?}"),
-            BlMsg::Inquire { r, from } => write!(f, "BL::Inquire(r{r} for {from})"),
+            BlMsg::Inquire { r, from, pred } => {
+                write!(f, "BL::Inquire(r{r} for {from} chasing #{pred})")
+            }
             BlMsg::ResTok { r } => write!(f, "BL::ResTok(r{r})"),
         }
     }
@@ -120,6 +138,15 @@ pub struct BouabdallahLaforest {
     claim: ResourceSet,
     /// Successor per resource (at most one thanks to CT serialization).
     next_r: Vec<Option<NodeId>>,
+    /// Epoch of our latest registration per resource (the seq we wrote
+    /// into the control token).
+    reg_seq: Vec<u64>,
+    /// Epoch under which each *physically held* token was obtained.  When
+    /// we keep a token past its epoch and re-register, the held token is
+    /// owed to the overdue inquire chasing `token_epoch[r]` — inquires
+    /// chasing our newer registration must queue instead (see
+    /// [`CtEntry`]).
+    token_epoch: Vec<u64>,
 }
 
 impl BouabdallahLaforest {
@@ -140,6 +167,8 @@ impl BouabdallahLaforest {
             held: ResourceSet::new(),
             claim: ResourceSet::new(),
             next_r: vec![None; m],
+            reg_seq: vec![0; m],
+            token_epoch: vec![0; m],
         }
     }
 
@@ -166,38 +195,47 @@ impl BouabdallahLaforest {
     fn use_control_token(&mut self, ctx: &mut Ctx<BlMsg>) {
         debug_assert!(self.nt.holds_token());
         let me = self.me;
-        let mut inquiries: Vec<(NodeId, ResourceId)> = Vec::new();
+        let mut inquiries: Vec<(NodeId, ResourceId, u64)> = Vec::new();
         let mut claimed = ResourceSet::new();
         {
             let ct = self.nt.token_mut().expect("holds control token");
             for r in self.required.iter() {
                 match ct.entries[r] {
                     CtEntry::Token => {
-                        ct.entries[r] = CtEntry::Last(me);
+                        // First registration ever for `r`: epoch 1.
+                        ct.entries[r] = CtEntry::Last(me, 1);
+                        self.reg_seq[r] = 1;
+                        self.token_epoch[r] = 1;
                         self.held.insert(r);
                         claimed.insert(r);
                         self.acquired.insert(r);
                     }
-                    CtEntry::Last(s) if s == me => {
+                    CtEntry::Last(s, e) if s == me => {
                         // We kept the token after an earlier CS and nobody
-                        // inquired it since: it is rightfully ours again.
+                        // registered since: it is rightfully ours again,
+                        // under the same epoch.
                         debug_assert!(self.held.contains(r));
+                        debug_assert_eq!(self.token_epoch[r], e);
+                        self.reg_seq[r] = e;
                         claimed.insert(r);
                         self.acquired.insert(r);
                     }
-                    CtEntry::Last(s) => {
+                    CtEntry::Last(s, e) => {
                         // Queued behind `s` — even if we physically hold
                         // the token (possible when `s` overtook our own
-                        // re-registration), the claim is not ours yet.
-                        inquiries.push((s, r));
-                        ct.entries[r] = CtEntry::Last(me);
+                        // re-registration), the claim is not ours yet: the
+                        // held token stays pledged to the overdue inquire
+                        // chasing its own (older) epoch.
+                        inquiries.push((s, r, e));
+                        ct.entries[r] = CtEntry::Last(me, e + 1);
+                        self.reg_seq[r] = e + 1;
                     }
                 }
             }
         }
         self.claim.union_with(&claimed);
-        for (s, r) in inquiries {
-            ctx.send(s, BlMsg::Inquire { r, from: me });
+        for (s, r, pred) in inquiries {
+            ctx.send(s, BlMsg::Inquire { r, from: me, pred });
         }
         // Surrendering held-but-unclaimed tokens cannot be needed here: an
         // inquire for them either already arrived (handled there) or will
@@ -232,17 +270,24 @@ impl Allocator for BouabdallahLaforest {
                     self.use_control_token(ctx);
                 }
             }
-            BlMsg::Inquire { r, from } => {
+            BlMsg::Inquire { r, from, pred } => {
                 debug_assert_ne!(from, self.me);
-                if self.held.contains(r) && !self.claim.contains(r) {
-                    // We hold the token without the right to use it next
-                    // (idle holder, or our own re-registration is queued
-                    // behind `from` in control-token order): hand it over.
+                if self.held.contains(r)
+                    && self.token_epoch[r] == pred
+                    && !self.claim.contains(r)
+                {
+                    // The inquirer chases exactly the epoch our kept token
+                    // is held under, and we are done with it: hand it
+                    // over.  An inquire chasing a *newer* registration of
+                    // ours (epoch mismatch) must queue below instead, even
+                    // though we physically hold a token — that token is
+                    // pledged to the overdue inquire of its own epoch.
                     self.held.remove(r);
                     ctx.send(from, BlMsg::ResTok { r });
                 } else {
-                    // We are using it, entitled to use it next, or still
-                    // awaiting it: `from` becomes our unique successor.
+                    // We are using it, entitled to use it next, still
+                    // awaiting it, or holding it for an older epoch:
+                    // `from` becomes our unique successor.
                     debug_assert!(
                         self.next_r[r].is_none(),
                         "CT serialization guarantees one successor (node {}, r{r})",
@@ -254,7 +299,8 @@ impl Allocator for BouabdallahLaforest {
             BlMsg::ResTok { r } => {
                 debug_assert!(!self.held.contains(r));
                 // The inquire chain delivers the token exactly when it is
-                // our turn.
+                // our turn — for our current registration's epoch.
+                self.token_epoch[r] = self.reg_seq[r];
                 self.held.insert(r);
                 self.claim.insert(r);
                 debug_assert!(
@@ -363,7 +409,7 @@ mod tests {
         // Node 1 read Last(0) and inquires node 0.
         let msgs = c1.take_outbox();
         assert_eq!(msgs.len(), 1);
-        assert!(matches!(msgs[0].1, BlMsg::Inquire { r: 0, from: 1 }));
+        assert!(matches!(msgs[0].1, BlMsg::Inquire { r: 0, from: 1, .. }));
         nodes[0].on_message(&mut c0, 1, msgs.into_iter().next().unwrap().1);
         // Node 0 is still in CS: records the successor, sends nothing.
         assert!(c0.take_outbox().is_empty());
@@ -414,5 +460,45 @@ mod tests {
             assert!(held_by_nodes.is_disjoint(&h), "resource token duplicated");
             held_by_nodes.union_with(&h);
         }
+    }
+}
+
+#[cfg(test)]
+mod chain_epoch_regression {
+    use super::*;
+    use mra_protocol::faults::FaultPlan;
+    use mra_protocol::reliable::Reliability;
+    use mra_protocol::testkit::{run_faulty_workload, ExerciseCfg, VirtualNet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Replays the schedule that exposed the epoch-less chain corruption
+    /// (PR 5): a dropped `INQUIRE` retransmitted maximally late arrived
+    /// *after* a later registrant's inquire, the holder handed its kept
+    /// token out of chain order, and the r11 waiting chain collapsed into
+    /// the cycle `n1 ↔ n6` — a permanent deadlock.  With epochs on
+    /// `CtEntry::Last`/`Inquire::pred` the harness (which re-arms the
+    /// deadlock panic under reliability) completes every request.
+    #[test]
+    fn delayed_inquire_cannot_corrupt_the_waiting_chain() {
+        let mut net = VirtualNet::new(BouabdallahLaforest::build_nodes(8, 16), 16);
+        net.install_faults(&FaultPlan::new(7896035992339410799).drop_rate(0.20));
+        net.enable_reliability(Reliability::default());
+        let mut rng = StdRng::seed_from_u64(5932657913863570347);
+        let rep = run_faulty_workload(
+            &mut net,
+            &ExerciseCfg {
+                rounds_per_node: 3,
+                max_req_size: 3,
+                m: 16,
+                hold_steps: 2,
+                active_nodes: None,
+                step_cap: 2_000_000,
+            },
+            &mut rng,
+        );
+        assert_eq!(rep.cs_completed, 24);
+        assert!(rep.starved.is_empty());
+        assert!(rep.stats.dropped_link > 0, "the plan did drop frames");
     }
 }

@@ -1,9 +1,9 @@
 //! Binary wire codecs for the baseline-algorithm messages.
 //!
 //! ```text
-//! CtEntry    := 0 (Token) | 1 last:u32 (Last)
+//! CtEntry    := 0 (Token) | 1 last:u32 seq:u64 (Last)
 //! ControlTok := entries:vec<CtEntry>
-//! BlMsg      := 0 NtMsg<ControlToken> | 1 r:u32 from:u32 | 2 r:u32
+//! BlMsg      := 0 NtMsg<ControlToken> | 1 r:u32 from:u32 pred:u64 | 2 r:u32
 //! IncMsg     := r:u32 NtMsg<()>
 //! MadToken   := served:vec<u64>
 //! MadMsg     := 0 origin:u32 ts:u64 set | 1 r:u32 MadToken
@@ -21,9 +21,10 @@ impl WireCodec for CtEntry {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
             CtEntry::Token => out.push(0),
-            CtEntry::Last(s) => {
+            CtEntry::Last(s, seq) => {
                 out.push(1);
                 put_usize(out, *s);
+                put_u64(out, *seq);
             }
         }
     }
@@ -31,7 +32,10 @@ impl WireCodec for CtEntry {
     fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
         match r.get_u8("CtEntry tag")? {
             0 => Ok(CtEntry::Token),
-            1 => Ok(CtEntry::Last(r.get_usize("CtEntry.last")?)),
+            1 => Ok(CtEntry::Last(
+                r.get_usize("CtEntry.last")?,
+                r.get_u64("CtEntry.seq")?,
+            )),
             tag => Err(DecodeError::BadTag { what: "CtEntry", tag }),
         }
     }
@@ -54,10 +58,11 @@ impl WireCodec for BlMsg {
                 out.push(0);
                 m.encode(out);
             }
-            BlMsg::Inquire { r, from } => {
+            BlMsg::Inquire { r, from, pred } => {
                 out.push(1);
                 put_usize(out, *r);
                 put_usize(out, *from);
+                put_u64(out, *pred);
             }
             BlMsg::ResTok { r } => {
                 out.push(2);
@@ -72,6 +77,7 @@ impl WireCodec for BlMsg {
             1 => Ok(BlMsg::Inquire {
                 r: r.get_usize("BlMsg::Inquire.r")?,
                 from: r.get_usize("BlMsg::Inquire.from")?,
+                pred: r.get_u64("BlMsg::Inquire.pred")?,
             }),
             2 => Ok(BlMsg::ResTok { r: r.get_usize("BlMsg::ResTok.r")? }),
             tag => Err(DecodeError::BadTag { what: "BlMsg", tag }),
@@ -175,11 +181,11 @@ mod tests {
     #[test]
     fn bl_roundtrips() {
         let ct = ControlToken {
-            entries: vec![CtEntry::Token, CtEntry::Last(3), CtEntry::Token],
+            entries: vec![CtEntry::Token, CtEntry::Last(3, 7), CtEntry::Token],
         };
         roundtrip_bytes(&BlMsg::Nt(NtMsg::Token(ct)));
         roundtrip_bytes(&BlMsg::Nt(NtMsg::Request { origin: 7 }));
-        roundtrip_bytes(&BlMsg::Inquire { r: 4, from: 1 });
+        roundtrip_bytes(&BlMsg::Inquire { r: 4, from: 1, pred: 9 });
         roundtrip_bytes(&BlMsg::ResTok { r: 255 });
     }
 

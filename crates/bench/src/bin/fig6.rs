@@ -7,6 +7,7 @@
 //! ```
 
 use mra_bench::save_csv;
+use mra_sim::WaitStats;
 use mra_workloads::experiments::{fig6, fig6_table, measure_secs_default};
 use mra_workloads::{Algorithm, Load, Table};
 
@@ -25,10 +26,10 @@ fn main() {
         csv.row(vec![
             r.load.label().into(),
             r.algo.label().into(),
-            format!("{:.3}", r.wait.mean_ms),
-            format!("{:.3}", r.wait.std_ms),
-            format!("{:.3}", r.wait.median_ms),
-            format!("{:.3}", r.wait.p95_ms),
+            WaitStats::cell(r.wait.mean_ms, 3),
+            WaitStats::cell(r.wait.std_ms, 3),
+            WaitStats::cell(r.wait.median_ms, 3),
+            WaitStats::cell(r.wait.p95_ms, 3),
             r.wait.count.to_string(),
             r.censored.to_string(),
         ]);

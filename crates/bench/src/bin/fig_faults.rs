@@ -1,5 +1,7 @@
-//! Fault-robustness sweep: CS throughput degradation vs frame-loss rate,
-//! for all six protocol families, on a deterministic [`FaultPlan`].
+//! Fault-robustness ablation: CS throughput degradation vs frame-loss
+//! rate, for all six protocol families, with the reliable-delivery
+//! session layer off (the paper's bare protocols) and on (exactly-once
+//! FIFO restored by retransmission) — on a deterministic [`FaultPlan`].
 //!
 //! ```text
 //! cargo run -p mra-bench --release --bin fig_faults            # full grid
@@ -8,14 +10,17 @@
 //!
 //! Environment: `MRA_FAULT_SEED` seeds the drop decisions, `MRA_LOSS`
 //! restricts the sweep to `{0, loss}` (a quick single-point comparison),
+//! `MRA_RELIABLE` pins the ablation to one mode (default: both),
+//! `MRA_RTO_MS` tunes the reliability-on retransmission timeout, and
 //! `MRA_MEASURE_SECS` / `MRA_FAST` scale the simulated window as usual.
 
 use mra_bench::save_csv;
 use mra_sim::faults::FaultPlan;
+use mra_sim::reliable::Reliability;
 use mra_workloads::experiments::{
-    fig_faults, fig_faults_table, measure_secs_or, FIG_FAULTS_LOSSES,
+    fig_faults, fig_faults_csv, fig_faults_table, measure_secs_or, sweep_reliability,
+    FIG_FAULTS_LOSSES,
 };
-use mra_workloads::Table;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -25,43 +30,24 @@ fn main() {
     let losses: Vec<f64> = if let Some(loss) = FaultPlan::env_loss() {
         vec![0.0, loss]
     } else if smoke {
-        vec![0.0, 5e-4, 2e-3]
+        vec![0.0, 5e-4, 2e-2]
     } else {
         FIG_FAULTS_LOSSES.to_vec()
     };
+    // The ablation runs both modes unless MRA_RELIABLE pins one.
+    let modes: Vec<bool> = if std::env::var("MRA_RELIABLE").is_ok() {
+        vec![Reliability::env_enabled()]
+    } else {
+        vec![false, true]
+    };
     eprintln!(
-        "fig_faults: sweeping loss over {losses:?} at {secs}s per run \
-         (seed {seed}, fault seed {fault_seed})"
+        "fig_faults: sweeping loss over {losses:?} × reliability {modes:?} at {secs}s \
+         per run (seed {seed}, fault seed {fault_seed}, rto {:.1}ms)",
+        sweep_reliability().rto.as_millis_f64()
     );
     let t0 = std::time::Instant::now();
-    let rows = fig_faults(&losses, seed, fault_seed, secs);
+    let rows = fig_faults(&losses, &modes, seed, fault_seed, secs);
     println!("{}", fig_faults_table(&rows).render());
-
-    // CSV: long format, one row per (loss, algorithm) point.
-    let mut csv = Table::new(
-        "fig_faults",
-        &[
-            "loss",
-            "algorithm",
-            "cs_completed",
-            "cs_per_sec",
-            "degradation_pct",
-            "censored",
-            "dropped_frames",
-        ],
-    );
-    for r in &rows {
-        csv.row(vec![
-            // 5 decimals: the interesting grid is per-mille and below.
-            format!("{:.5}", r.loss),
-            r.algo.label().into(),
-            r.cs_completed.to_string(),
-            format!("{:.2}", r.cs_per_sec),
-            format!("{:.2}", r.degradation_pct),
-            r.censored.to_string(),
-            r.dropped.to_string(),
-        ]);
-    }
-    save_csv(&csv, "fig_faults.csv");
+    save_csv(&fig_faults_csv(&rows), "fig_faults.csv");
     eprintln!("fig_faults done in {:?}", t0.elapsed());
 }

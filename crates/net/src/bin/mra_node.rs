@@ -21,8 +21,9 @@ use mra_net::{
     run_solo_node, run_tcp_cluster, PeerDirectory, SoloConfig, TcpClusterConfig,
 };
 use mra_protocol::faults::FaultPlan;
+use mra_protocol::reliable::Reliability;
 use mra_protocol::{Allocator, WireCodec};
-use mra_sim::{FixedWorkload, RunResult};
+use mra_sim::{FixedWorkload, RunResult, WaitStats};
 use mra_types::Time;
 use std::process::exit;
 use std::time::Duration;
@@ -53,9 +54,13 @@ OPTIONS:
 ENVIRONMENT:
   MRA_LOSS=P         install the frame-level fault shim: drop each inbound
                      protocol frame with probability P (deterministic per
-                     link).  WARNING: lost tokens are never retransmitted;
-                     a lossy quota run can stall — use small P and rounds.
+                     link).  Without MRA_RELIABLE lost tokens are never
+                     retransmitted and a lossy quota run can stall.
   MRA_FAULT_SEED=S   seed of the fault decision hash (default 0xFA17)
+  MRA_RELIABLE=1     enable the reliable session layer: sequence numbers,
+                     cumulative acks and timer-driven retransmission turn
+                     MRA_LOSS drops into latency instead of lost liveness
+  MRA_RTO_MS=T       initial retransmission timeout in ms (default 10)
 ";
 
 #[derive(Clone, Debug)]
@@ -158,10 +163,24 @@ where
     let n = protos.len();
     let extra_latency = Time::from_micros(opts.latency_us);
     let faults = FaultPlan::from_env();
+    let reliability = Reliability::from_env();
     if let Some(plan) = &faults {
         eprintln!(
-            "mra-node: fault shim active: drop={} seed={} (lossy runs may stall)",
-            plan.link.drop, plan.seed
+            "mra-node: fault shim active: drop={} seed={}{}",
+            plan.link.drop,
+            plan.seed,
+            if reliability.is_some() {
+                " (recovered by the reliable session layer)"
+            } else {
+                " (lossy runs may stall; set MRA_RELIABLE=1 to recover drops)"
+            }
+        );
+    }
+    if let Some(rel) = &reliability {
+        eprintln!(
+            "mra-node: reliable session layer on: rto={:.1}ms cap={:.1}ms (MRA_RTO_MS)",
+            rel.rto.as_millis_f64(),
+            rel.rto_cap.as_millis_f64()
         );
     }
     if opts.solo {
@@ -195,6 +214,7 @@ where
                 active,
                 connect_timeout: Duration::from_secs(30),
                 faults,
+                reliability,
             },
         )
         .unwrap_or_else(|e| die(&format!("transport setup failed: {e}")))
@@ -210,6 +230,7 @@ where
                 extra_latency,
                 active_nodes: Some(active),
                 faults,
+                reliability,
             },
         )
     }
@@ -230,8 +251,12 @@ fn print_result(res: &RunResult, opts: &Opts) {
         res.msg_weight
     );
     println!(
-        "wait_ms: mean={:.3} std={:.3} median={:.3} p95={:.3} (n={})",
-        w.mean_ms, w.std_ms, w.median_ms, w.p95_ms, w.count
+        "wait_ms: mean={} std={} median={} p95={} (n={})",
+        WaitStats::cell(w.mean_ms, 3),
+        WaitStats::cell(w.std_ms, 3),
+        WaitStats::cell(w.median_ms, 3),
+        WaitStats::cell(w.p95_ms, 3),
+        w.count
     );
     println!("use_rate={:.1}%", 100.0 * res.use_rate());
     let mut kinds: Vec<_> = res.msg_by_kind.clone();

@@ -16,6 +16,7 @@
 
 use crate::transport::{connect_mesh, MeshConfig, PeerDirectory, PortCtrl, TcpPort};
 use mra_protocol::faults::FaultPlan;
+use mra_protocol::reliable::Reliability;
 use mra_protocol::{Allocator, WireCodec};
 use mra_sim::runtime::{drive_node, NodeCfg, RunShared};
 use mra_sim::{RunResult, Workload};
@@ -39,10 +40,16 @@ pub struct TcpClusterConfig {
     /// Only nodes `0..active` issue requests (`None` = all).
     pub active_nodes: Option<usize>,
     /// Frame-level fault shim (see [`MeshConfig::faults`]).  A *lossy* plan
-    /// on a quota-based cluster run can stall it forever — lost tokens are
-    /// never retransmitted; use non-lossy plans (dup-only) here and keep
-    /// lossy plans for bounded transport experiments.
+    /// on a quota-based cluster run with `reliability` off can stall it
+    /// forever — lost tokens are never retransmitted; pair lossy plans
+    /// with [`TcpClusterConfig::reliability`] (drops are then recovered)
+    /// or keep them for bounded transport experiments.
     pub faults: Option<FaultPlan>,
+    /// Reliable-delivery session layer (see [`MeshConfig::reliability`]):
+    /// sequence numbers, cumulative acks and timer-driven retransmission
+    /// around the frame codec, restoring exactly-once FIFO delivery under
+    /// a lossy `faults` shim.
+    pub reliability: Option<Reliability>,
 }
 
 impl TcpClusterConfig {
@@ -54,6 +61,7 @@ impl TcpClusterConfig {
             extra_latency: Time::ZERO,
             active_nodes: None,
             faults: None,
+            reliability: None,
         }
     }
 }
@@ -103,6 +111,7 @@ where
         extra_latency: cfg.extra_latency,
         connect_timeout: Duration::from_secs(10),
         faults: cfg.faults.clone(),
+        reliability: cfg.reliability,
     };
 
     let algo = protos[0].name().to_string();
@@ -182,6 +191,10 @@ pub struct SoloConfig {
     /// [`MeshConfig::faults`]); every process must install the same plan
     /// for the cluster-wide fault pattern to be coherent.
     pub faults: Option<FaultPlan>,
+    /// Reliable-delivery session layer (see [`MeshConfig::reliability`]);
+    /// every process must enable it for the session framing to be
+    /// coherent (`MRA_RELIABLE=1` across the cluster).
+    pub reliability: Option<Reliability>,
 }
 
 /// Run node `me` of a multi-process cluster on the current thread,
@@ -223,6 +236,7 @@ where
             extra_latency: cfg.extra_latency,
             connect_timeout: cfg.connect_timeout,
             faults: cfg.faults.clone(),
+            reliability: cfg.reliability,
         },
     )?;
     let node_cfg = NodeCfg {
@@ -284,6 +298,28 @@ mod tests {
             8,
             TcpClusterConfig {
                 faults: Some(FaultPlan::new(77).dup_rate(0.5)),
+                ..TcpClusterConfig::new(5, 11)
+            },
+        );
+        assert_eq!(res.cs_completed, 20);
+        assert_eq!(res.censored, 0);
+    }
+
+    #[test]
+    fn lossy_shim_with_reliability_completes_the_quota() {
+        // The model-level fix of PR 5 on the wire: a 20% drop shim used to
+        // be forbidden on quota runs (lost tokens stall the cluster
+        // forever); with the session layer every drop is retransmitted and
+        // the run completes with zero safety violations and a conserved
+        // holder table (asserted inside the harness).
+        let cfg = LassConfig::with_loan(4, 8);
+        let res = run_tcp_cluster(
+            cfg.build_nodes(),
+            quick_workloads(4, 8, 2),
+            8,
+            TcpClusterConfig {
+                faults: Some(FaultPlan::new(0xFA17).drop_rate(0.2).dup_rate(0.1)),
+                reliability: Some(Reliability::with_rto(Time::from_millis(2))),
                 ..TcpClusterConfig::new(5, 11)
             },
         );
@@ -371,6 +407,7 @@ mod tests {
                         active: n,
                         connect_timeout: Duration::from_secs(10),
                         faults: None,
+                        reliability: None,
                     },
                 )
                 .expect("solo node run")

@@ -22,14 +22,26 @@ pub const TAG_SHUTDOWN: u8 = 1;
 /// Frame tag: the sender completed its round quota (empty payload; solo
 /// deployments route these to node 0, which coordinates shutdown).
 pub const TAG_DONE: u8 = 2;
+/// Frame tag: a reliable-session data frame — payload is
+/// `[seq: u64 LE][ack: u64 LE]` followed by one encoded protocol message
+/// (see `mra_protocol::reliable`).
+pub const TAG_RDATA: u8 = 3;
+/// Frame tag: a reliable-session standalone cumulative ack — payload is
+/// `[ack: u64 LE]`.
+pub const TAG_RACK: u8 = 4;
 
 /// Upper bound on a frame's `len` field.  The largest legitimate message
-/// (a full token batch) is a few KiB; anything near this cap is a corrupt
-/// or hostile length prefix, rejected before allocation.
-pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+/// (a full token batch with per-resource counters) is a few KiB; 64 KiB
+/// leaves an order-of-magnitude margin while keeping a corrupt or hostile
+/// length prefix — which used to provoke a multi-megabyte allocation
+/// attempt before any validation — rejected before the buffer grows.
+pub const MAX_FRAME: usize = 64 * 1024;
 
 /// Size of the frame header (`len` field + tag byte).
 pub const HEADER: usize = 5;
+
+/// Size of the reliable-session data header inside a [`TAG_RDATA`] payload.
+pub const RDATA_HEADER: usize = 16;
 
 /// Start building a frame in `buf`: clear it and reserve the header.
 /// Encode the payload directly after, then call [`end_frame`].  This pair
@@ -45,11 +57,23 @@ pub fn begin_frame(buf: &mut Vec<u8>) {
 /// Finalize a frame started with [`begin_frame`]: patch the length and
 /// tag into the reserved header.  The buffer is then ready to write as
 /// one contiguous frame.
+///
+/// # Panics
+/// If the frame body exceeds [`MAX_FRAME`]: the receiver would reject it
+/// and kill the link with no hint of the cause, so an oversized frame
+/// fails loudly at the *sender*.  Unreachable for every legitimate
+/// message (the largest, a full control-token batch, is a few KiB — the
+/// resource universe is hard-capped at 256).
 #[inline]
 pub fn end_frame(buf: &mut [u8], tag: u8) {
     debug_assert!(buf.len() >= HEADER);
-    let len = (buf.len() - 4) as u32;
-    buf[..4].copy_from_slice(&len.to_le_bytes());
+    let len = buf.len() - 4;
+    assert!(
+        len <= MAX_FRAME,
+        "frame body {len} bytes exceeds MAX_FRAME ({MAX_FRAME}); \
+         the receiver would reject it"
+    );
+    buf[..4].copy_from_slice(&(len as u32).to_le_bytes());
     buf[4] = tag;
 }
 
@@ -102,6 +126,31 @@ pub fn read_handshake(r: &mut impl Read, n: usize) -> io::Result<NodeId> {
     Ok(id)
 }
 
+/// Split a [`TAG_RDATA`] payload (`scratch[1..]`) into `(seq, ack, body)`.
+/// Errors on a short payload.
+pub fn split_rdata(payload: &[u8]) -> io::Result<(u64, u64, &[u8])> {
+    if payload.len() < RDATA_HEADER {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("rdata payload too short: {} bytes", payload.len()),
+        ));
+    }
+    let seq = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+    let ack = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
+    Ok((seq, ack, &payload[RDATA_HEADER..]))
+}
+
+/// Parse a [`TAG_RACK`] payload (`scratch[1..]`) into its ack value.
+pub fn split_rack(payload: &[u8]) -> io::Result<u64> {
+    if payload.len() != 8 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("rack payload must be 8 bytes, got {}", payload.len()),
+        ));
+    }
+    Ok(u64::from_le_bytes(payload.try_into().expect("8 bytes")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +189,56 @@ mod tests {
         assert!(read_frame(&mut Cursor::new(zero), &mut scratch).is_err());
         let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
         assert!(read_frame(&mut Cursor::new(huge), &mut scratch).is_err());
+    }
+
+    #[test]
+    fn poisoned_length_prefix_is_rejected_before_allocation() {
+        // A corrupted/hostile length word (e.g. ASCII noise or 0xFFFFFFFF
+        // from a misframed stream) must produce a decode error without the
+        // scratch buffer ever growing toward the bogus size.
+        for poison in [u32::MAX, 0x7FFF_FFFF, 0x2020_2020, MAX_FRAME as u32 + 1] {
+            let mut wire = poison.to_le_bytes().to_vec();
+            wire.extend_from_slice(&[0u8; 64]); // some trailing garbage
+            let mut scratch = Vec::new();
+            let err = read_frame(&mut Cursor::new(wire), &mut scratch)
+                .expect_err("poisoned length must be rejected");
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{poison:#x}");
+            assert!(
+                scratch.capacity() <= MAX_FRAME,
+                "scratch grew to {} for poisoned length {poison:#x}",
+                scratch.capacity()
+            );
+        }
+        // The cap itself is still a valid length.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, TAG_MSG, &vec![7u8; MAX_FRAME - 1]).unwrap();
+        let mut scratch = Vec::new();
+        assert_eq!(read_frame(&mut Cursor::new(wire), &mut scratch).unwrap(), TAG_MSG);
+        assert_eq!(scratch.len(), MAX_FRAME);
+    }
+
+    #[test]
+    fn rdata_and_rack_payloads_roundtrip() {
+        let mut buf = Vec::new();
+        begin_frame(&mut buf);
+        buf.extend_from_slice(&42u64.to_le_bytes());
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        buf.extend_from_slice(b"payload");
+        end_frame(&mut buf, TAG_RDATA);
+        let mut scratch = Vec::new();
+        let tag = read_frame(&mut Cursor::new(&buf), &mut scratch).unwrap();
+        assert_eq!(tag, TAG_RDATA);
+        let (seq, ack, body) = split_rdata(&scratch[1..]).unwrap();
+        assert_eq!((seq, ack), (42, 7));
+        assert_eq!(body, b"payload");
+        assert!(split_rdata(&scratch[1..9]).is_err(), "short rdata rejected");
+
+        let mut ackf = Vec::new();
+        write_frame(&mut ackf, TAG_RACK, &9u64.to_le_bytes()).unwrap();
+        let tag = read_frame(&mut Cursor::new(&ackf), &mut scratch).unwrap();
+        assert_eq!(tag, TAG_RACK);
+        assert_eq!(split_rack(&scratch[1..]).unwrap(), 9);
+        assert!(split_rack(b"short").is_err());
     }
 
     #[test]

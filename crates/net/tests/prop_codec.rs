@@ -139,7 +139,10 @@ fn any_sk_msg() -> impl Strategy<Value = SkMsg> {
 
 fn any_control_token() -> impl Strategy<Value = ControlToken> {
     vec(
-        prop_oneof![Just(CtEntry::Token), (0usize..256).prop_map(CtEntry::Last)],
+        prop_oneof![
+            Just(CtEntry::Token),
+            (0usize..256, 0u64..1 << 40).prop_map(|(s, e)| CtEntry::Last(s, e)),
+        ],
         0..24,
     )
     .prop_map(|entries| ControlToken { entries })
@@ -149,7 +152,8 @@ fn any_bl_msg() -> impl Strategy<Value = BlMsg> {
     prop_oneof![
         (0usize..256).prop_map(|origin| BlMsg::Nt(NtMsg::Request { origin })),
         any_control_token().prop_map(|ct| BlMsg::Nt(NtMsg::Token(ct))),
-        (0usize..256, 0usize..256).prop_map(|(r, from)| BlMsg::Inquire { r, from }),
+        (0usize..256, 0usize..256, 0u64..1 << 40)
+            .prop_map(|(r, from, pred)| BlMsg::Inquire { r, from, pred }),
         (0usize..256).prop_map(|r| BlMsg::ResTok { r }),
     ]
 }

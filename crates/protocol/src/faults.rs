@@ -182,6 +182,17 @@ impl FaultPlan {
             || self.outages.iter().any(|o| o.kind == OutageKind::Crash)
     }
 
+    /// True when the reliable-delivery session layer
+    /// ([`crate::reliable`]) can fully recover this plan's losses: every
+    /// drop probability is `< 1.0`.  Partitions heal and outage windows
+    /// end by construction (`from < until` is asserted), so only a
+    /// total-loss link is unrecoverable — its retransmissions are dropped
+    /// forever.  Engines running with reliability enabled re-arm their
+    /// liveness/deadlock checks exactly when this holds.
+    pub fn is_recoverable(&self) -> bool {
+        self.link.drop < 1.0 && self.overrides.iter().all(|(_, _, f)| f.drop < 1.0)
+    }
+
     /// True when the plan injects nothing at all.
     pub fn is_clean(&self) -> bool {
         self.link == LinkFaults::NONE
@@ -337,6 +348,11 @@ impl LinkFilter {
 pub enum Admit {
     /// Hand the message to the protocol.
     Deliver,
+    /// Deliver, *and* a duplicate copy follows on the wire.  Only surfaced
+    /// by [`FaultState::admit_wire`] (session-layer mode, where the
+    /// receiver's dedup window absorbs the copy); [`FaultState::admit`]
+    /// folds it into [`Admit::Deliver`] and counts the absorption itself.
+    Duplicate,
     /// The message is lost (already counted in the stats).
     Drop,
     /// The receiver is paused: re-schedule delivery at the given instant.
@@ -437,7 +453,12 @@ impl FaultState {
     }
 
     /// Probabilistic verdict for the next frame on `from → to` (bumps the
-    /// link's frame counter and the stats).
+    /// link's frame counter and the drop/duplicated stats).  A
+    /// [`FrameFate::Duplicate`] is counted as *duplicated on the wire*
+    /// only; whoever absorbs the copy — this state's [`FaultState::admit`]
+    /// in perfect-link mode, or the reliable session layer's dedup window —
+    /// accounts for the absorption ([`FaultStats::deduped`] /
+    /// `ReliabilityStats::dup_dropped`).
     #[inline]
     pub fn fate(&mut self, from: NodeId, to: NodeId) -> FrameFate {
         let link = from * self.n + to;
@@ -446,20 +467,41 @@ impl FaultState {
         let fate = frame_fate(self.plan.seed, link as u64, k, &self.links[link]);
         match fate {
             FrameFate::Drop => self.stats.dropped_link += 1,
-            FrameFate::Duplicate => {
-                self.stats.duplicated += 1;
-                self.stats.deduped += 1;
-            }
+            FrameFate::Duplicate => self.stats.duplicated += 1,
             FrameFate::Deliver => {}
         }
         fate
     }
 
+    /// Record a wire duplicate as absorbed by this fault layer (perfect-link
+    /// mode, where no session layer exists to re-deliver it).
+    #[inline]
+    pub fn note_dedup(&mut self) {
+        self.stats.deduped += 1;
+    }
+
     /// Full admission decision for a message popped for delivery at `at`:
     /// outage handling first (pause defers, crash drops), then partitions,
-    /// then the probabilistic per-link verdict.  All counting happens here.
+    /// then the probabilistic per-link verdict.  All counting happens here;
+    /// duplicate verdicts are absorbed (the paper's perfect-link model has
+    /// no duplicates to show the protocol).
     #[inline]
     pub fn admit(&mut self, from: NodeId, to: NodeId, at: Time) -> Admit {
+        match self.admit_wire(from, to, at) {
+            Admit::Duplicate => {
+                self.note_dedup();
+                Admit::Deliver
+            }
+            other => other,
+        }
+    }
+
+    /// Like [`FaultState::admit`], but surfaces duplicate verdicts as
+    /// [`Admit::Duplicate`] so a session-layer engine can put the extra
+    /// copy on the wire and let the receive-side dedup window absorb it —
+    /// the *real* channel model instead of the emulated one.
+    #[inline]
+    pub fn admit_wire(&mut self, from: NodeId, to: NodeId, at: Time) -> Admit {
         if let Some((kind, until)) = self.outage(to, at) {
             match kind {
                 OutageKind::Pause => {
@@ -478,7 +520,8 @@ impl FaultState {
         }
         match self.fate(from, to) {
             FrameFate::Drop => Admit::Drop,
-            FrameFate::Deliver | FrameFate::Duplicate => Admit::Deliver,
+            FrameFate::Deliver => Admit::Deliver,
+            FrameFate::Duplicate => Admit::Duplicate,
         }
     }
 }
@@ -596,5 +639,34 @@ mod tests {
     #[should_panic(expected = "must be in [0, 1]")]
     fn probabilities_are_validated() {
         let _ = FaultPlan::new(1).drop_rate(1.5);
+    }
+
+    #[test]
+    fn recoverable_classification() {
+        assert!(FaultPlan::new(1).is_recoverable());
+        assert!(FaultPlan::new(1).drop_rate(0.999).is_recoverable());
+        assert!(!FaultPlan::new(1).drop_rate(1.0).is_recoverable());
+        assert!(!FaultPlan::new(1)
+            .link_override(0, 1, LinkFaults { drop: 1.0, dup: 0.0 })
+            .is_recoverable());
+        // Partitions and crashes are time-bounded: recoverable.
+        assert!(FaultPlan::new(1)
+            .partition(vec![0], Time::ZERO, Time::from_secs(1))
+            .crash(1, Time::ZERO, Time::from_secs(1))
+            .is_recoverable());
+    }
+
+    #[test]
+    fn admit_absorbs_duplicates_admit_wire_surfaces_them() {
+        let plan = FaultPlan::new(5).dup_rate(1.0);
+        let at = Time::from_millis(1);
+        let mut absorb = FaultState::new(plan.clone(), 2);
+        assert_eq!(absorb.admit(0, 1, at), Admit::Deliver);
+        assert_eq!(absorb.stats.duplicated, 1);
+        assert_eq!(absorb.stats.deduped, 1);
+        let mut wire = FaultState::new(plan, 2);
+        assert_eq!(wire.admit_wire(0, 1, at), Admit::Duplicate);
+        assert_eq!(wire.stats.duplicated, 1);
+        assert_eq!(wire.stats.deduped, 0, "the session layer absorbs it");
     }
 }

@@ -17,10 +17,12 @@
 //!    the [`wire`] codecs to put messages on an actual wire.
 
 pub mod faults;
+pub mod reliable;
 pub mod testkit;
 pub mod wire;
 
 pub use faults::{FaultPlan, FaultStats, LinkFaults};
+pub use reliable::{Reliability, ReliabilityStats};
 pub use wire::{DecodeError, WireCodec, WireReader};
 
 use mra_types::{NodeId, ResourceSet, Time};

@@ -11,6 +11,7 @@
 //! would rarely hit.
 
 use crate::faults::{FaultPlan, FaultState, FaultStats, FrameFate};
+use crate::reliable::{Packet, Reliability, ReliabilityStats, ReliableState};
 use crate::{Allocator, Ctx, ProcState};
 use mra_types::{NodeId, ResourceSet, Time};
 use rand::rngs::StdRng;
@@ -209,13 +210,16 @@ struct Slot<A: Allocator> {
 /// externally driven, randomized delivery.
 pub struct VirtualNet<A: Allocator> {
     slots: Vec<Slot<A>>,
-    /// `links[src * n + dst]`: FIFO queue of in-flight messages.
-    links: Vec<VecDeque<A::Msg>>,
+    /// `links[src * n + dst]`: FIFO queue of in-flight session frames
+    /// ([`Packet::Plain`] when reliability is off).
+    links: Vec<VecDeque<Packet<A::Msg>>>,
     n: usize,
     steps: u64,
     delivered: u64,
     /// Installed fault layer, if any (queue-pop injection).
     faults: Option<FaultState>,
+    /// Installed reliable-delivery session layer, if any.
+    reliable: Option<ReliableState<A::Msg>>,
     /// Safety monitor; public so tests can inspect concurrency.
     pub monitor: SafetyMonitor,
 }
@@ -240,6 +244,7 @@ impl<A: Allocator> VirtualNet<A> {
             steps: 0,
             delivered: 0,
             faults: None,
+            reliable: None,
             monitor: SafetyMonitor::new(n, m),
             slots: Vec::new(),
         };
@@ -311,6 +316,56 @@ impl<A: Allocator> VirtualNet<A> {
         self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
     }
 
+    /// Enable the reliable-delivery session layer: every subsequent send is
+    /// sequenced into a per-link session ([`crate::reliable`]), receivers
+    /// dedup and ack, and [`VirtualNet::retransmit_all`] re-emits unacked
+    /// frames — together upgrading a lossy fault plan back to exactly-once
+    /// FIFO delivery.  Messages already in flight (e.g. `on_init` token
+    /// placement) are retroactively sequenced so they are protected too.
+    pub fn enable_reliability(&mut self, cfg: Reliability) {
+        assert!(self.reliable.is_none(), "reliability enabled twice");
+        let mut st = ReliableState::new(cfg, self.n);
+        for (l, queue) in self.links.iter_mut().enumerate() {
+            let (src, dst) = (l / self.n, l % self.n);
+            for packet in queue.iter_mut() {
+                if let Packet::Plain(msg) = packet {
+                    let (seq, ack) = st.on_send(src, dst, msg, Time::ZERO);
+                    let msg = msg.clone();
+                    *packet = Packet::Data { seq, ack, msg };
+                }
+            }
+        }
+        self.reliable = Some(st);
+    }
+
+    /// Is the session layer installed?
+    pub fn reliability_on(&self) -> bool {
+        self.reliable.is_some()
+    }
+
+    /// Session-layer counters accumulated so far (zero when disabled).
+    pub fn reliability_stats(&self) -> ReliabilityStats {
+        self.reliable.as_ref().map(|r| r.stats).unwrap_or_default()
+    }
+
+    /// Re-enqueue every unacknowledged session frame on its link — the
+    /// clockless analogue of all retransmit timers expiring at once.  The
+    /// scheduler calls this when the network is otherwise stuck; the
+    /// re-emitted frames run through the fault filter again on delivery,
+    /// so under any drop rate `< 1.0` repeated calls eventually get every
+    /// frame through.  Returns the number of frames re-enqueued (0 when
+    /// reliability is off or everything is acked).
+    pub fn retransmit_all(&mut self) -> usize {
+        let Some(st) = self.reliable.as_mut() else {
+            return 0;
+        };
+        let links = &mut self.links;
+        let n = self.n;
+        st.retransmit_all(|from, to, packet| {
+            links[from * n + to].push_back(packet);
+        })
+    }
+
     /// Issue a request for `set` from node `i`.
     ///
     /// # Panics
@@ -367,23 +422,79 @@ impl<A: Allocator> VirtualNet<A> {
     }
 
     fn deliver_from_link(&mut self, link: usize) {
-        let msg = self.links[link].pop_front().expect("link not empty");
+        let packet = self.links[link].pop_front().expect("link not empty");
         let (src, dst) = (link / self.n, link % self.n);
+        // A wire duplicate is a one-off copy arriving right behind the
+        // original; it does not re-enter the fault filter (a copy of a
+        // copy would otherwise cascade at high dup rates).  In session
+        // mode it reaches the receiver and the dedup window absorbs it —
+        // processed inline after the original below.
+        let mut dup_copy = false;
         if let Some(fs) = self.faults.as_mut() {
             match fs.fate(src, dst) {
                 // Lost on the wire: the pop consumed it, nobody sees it.
                 FrameFate::Drop => return,
-                // Duplicated on the wire, absorbed by the dedup layer —
-                // delivered exactly once below (see `faults` module docs).
-                FrameFate::Duplicate | FrameFate::Deliver => {}
+                FrameFate::Duplicate => {
+                    if self.reliable.is_some() {
+                        dup_copy = true;
+                    } else {
+                        // Perfect-link mode: absorbed here, delivered once.
+                        fs.note_dedup();
+                    }
+                }
+                FrameFate::Deliver => {}
             }
         }
+        let msg = match packet {
+            Packet::Plain(msg) => msg,
+            Packet::Data { seq, ack, msg } => {
+                let st = self
+                    .reliable
+                    .as_mut()
+                    .expect("Data frame without a session layer");
+                let deliver = st.on_data(src, dst, seq, ack);
+                if dup_copy {
+                    // The copy is stale by construction (the original just
+                    // advanced — or failed to advance — the window).
+                    st.on_data(src, dst, seq, ack);
+                }
+                // Standalone ack unless the handler's own reply (flushed
+                // inside `after_dispatch` below) piggybacks it first — the
+                // dispatch order makes the piggyback win, so only check
+                // afterwards.
+                if !deliver {
+                    self.queue_pending_ack(src, dst);
+                    return;
+                }
+                msg
+            }
+            Packet::Ack { ack } => {
+                // Duplicated acks are idempotent; apply once.
+                self.reliable
+                    .as_mut()
+                    .expect("Ack frame without a session layer")
+                    .on_ack(src, dst, ack);
+                return;
+            }
+        };
         self.tick();
         self.delivered += 1;
         let slot = &mut self.slots[dst];
         slot.ctx.set_now(Time::from_nanos(self.steps));
         slot.proto.on_message(&mut slot.ctx, src, msg);
         self.after_dispatch(dst);
+        self.queue_pending_ack(src, dst);
+    }
+
+    /// If `dst` still owes `src` an ack for the data link `src → dst`
+    /// (nothing piggybacked it), enqueue the standalone ack frame on the
+    /// reverse link.  No-op with reliability off.
+    fn queue_pending_ack(&mut self, src: NodeId, dst: NodeId) {
+        if let Some(st) = self.reliable.as_mut() {
+            if let Some(ack) = st.pending_ack(src, dst) {
+                self.links[dst * self.n + src].push_back(Packet::Ack { ack });
+            }
+        }
     }
 
     /// Deliver messages in random order until the network is quiet.
@@ -419,8 +530,18 @@ impl<A: Allocator> VirtualNet<A> {
         // link queues are appended — no per-dispatch allocation.
         let slot = &mut self.slots[i];
         let links = &mut self.links;
-        for (to, msg) in slot.ctx.drain_outbox() {
-            links[i * self.n + to].push_back(msg);
+        match self.reliable.as_mut() {
+            None => {
+                for (to, msg) in slot.ctx.drain_outbox() {
+                    links[i * self.n + to].push_back(Packet::Plain(msg));
+                }
+            }
+            Some(st) => {
+                for (to, msg) in slot.ctx.drain_outbox() {
+                    let (seq, ack) = st.on_send(i, to, &msg, Time::ZERO);
+                    links[i * self.n + to].push_back(Packet::Data { seq, ack, msg });
+                }
+            }
         }
     }
 }
@@ -450,6 +571,7 @@ where
             steps: self.steps,
             delivered: self.delivered,
             faults: self.faults.clone(),
+            reliable: self.reliable.clone(),
             monitor: self.monitor.clone(),
         }
     }
@@ -729,6 +851,8 @@ pub struct FaultyReport {
     pub delivered: u64,
     /// What the fault layer did.
     pub stats: FaultStats,
+    /// What the reliable session layer did (all-zero when disabled).
+    pub reliability: ReliabilityStats,
 }
 
 /// Drive a (possibly faulty) network with a random workload and check the
@@ -741,8 +865,15 @@ pub struct FaultyReport {
 ///   ([`SafetyMonitor::assert_conservation`]);
 /// * **fault-aware liveness** — under a *non-lossy* plan (clean, dup-only)
 ///   every request must complete, exactly like [`run_random_workload`];
-///   under a lossy plan starved nodes are *reported*, not treated as
-///   failures — a dropped token legitimately destroys liveness.
+///   under a lossy plan **without** the session layer starved nodes are
+///   *reported*, not treated as failures — a dropped token legitimately
+///   destroys liveness.  With [`VirtualNet::enable_reliability`] on and a
+///   [recoverable](FaultPlan::is_recoverable) plan (every drop rate
+///   `< 1.0`) the deadlock panic is **re-armed**: when the scheduler runs
+///   out of actions with nodes still waiting it triggers
+///   [`VirtualNet::retransmit_all`] (the clockless retransmission timer),
+///   and only a retransmission-free stall — a genuine protocol deadlock —
+///   panics.  Every request must then complete despite the losses.
 ///
 /// The run quiesces when no action remains: all messages delivered or
 /// dropped, every critical section released, and every remaining request
@@ -750,13 +881,18 @@ pub struct FaultyReport {
 ///
 /// # Panics
 /// On any safety violation, on a granted-resource leak at quiescence, on
-/// starvation under a non-lossy plan, and if `cfg.step_cap` is exceeded.
+/// starvation under a non-lossy (or reliability-recovered) plan, and if
+/// `cfg.step_cap` is exceeded.
 pub fn run_faulty_workload<A: Allocator>(
     net: &mut VirtualNet<A>,
     cfg: &ExerciseCfg,
     rng: &mut StdRng,
 ) -> FaultyReport {
-    let lossy = net.fault_plan().is_some_and(|p| p.is_lossy());
+    // The session layer restores the reliable-channel model for any
+    // recoverable plan: liveness is then owed again.
+    let recovered =
+        net.reliability_on() && net.fault_plan().map_or(true, FaultPlan::is_recoverable);
+    let lossy = net.fault_plan().is_some_and(|p| p.is_lossy()) && !recovered;
     let n_active = cfg.active_nodes.unwrap_or(net.len());
     assert!(n_active <= net.len());
     assert!(cfg.max_req_size >= 1 && cfg.max_req_size <= cfg.m);
@@ -796,6 +932,19 @@ pub fn run_faulty_workload<A: Allocator>(
             if waiting.is_empty() {
                 break; // every request served, all quotas spent
             }
+            if recovered && net.retransmit_all() > 0 {
+                // The clockless retransmission timer: unacked session
+                // frames go back on the wire and the scheduler resumes.
+                // Counted as an action so `step_cap` still bounds a
+                // pathological no-progress loop.
+                actions += 1;
+                assert!(
+                    actions <= cfg.step_cap,
+                    "LIVENESS FAILURE: {actions} actions (retransmitting) \
+                     with {completed} CS completed"
+                );
+                continue;
+            }
             if lossy {
                 // Permanent starvation caused by message loss: an expected
                 // liveness casualty, recorded and tolerated.
@@ -807,8 +956,12 @@ pub fn run_faulty_workload<A: Allocator>(
                 .collect();
             panic!(
                 "DEADLOCK under a non-lossy fault plan: nodes {waiting:?} \
-                 waiting, nothing in flight, nobody in CS; states: {}",
-                states.join(" ")
+                 waiting, nothing in flight, nobody in CS; states: {} \
+                 (reliability {}; rel {:?}; faults {:?})",
+                states.join(" "),
+                if net.reliability_on() { "on" } else { "off" },
+                net.reliability_stats(),
+                net.fault_stats(),
             );
         }
 
@@ -861,7 +1014,8 @@ pub fn run_faulty_workload<A: Allocator>(
         assert_eq!(
             completed as usize,
             cfg.rounds_per_node * n_active,
-            "a non-lossy plan must not cost a single critical section"
+            "a non-lossy (or reliability-recovered) plan must not cost a \
+             single critical section"
         );
     }
 
@@ -871,6 +1025,7 @@ pub fn run_faulty_workload<A: Allocator>(
         actions,
         delivered: net.delivered(),
         stats: net.fault_stats(),
+        reliability: net.reliability_stats(),
     }
 }
 
@@ -1060,6 +1215,50 @@ mod tests {
         assert_eq!(rep.cs_completed, 12);
         assert!(rep.stats.duplicated > 0);
         assert_eq!(rep.stats.duplicated, rep.stats.deduped);
+    }
+
+    #[test]
+    fn reliability_recovers_every_cs_under_heavy_loss() {
+        let mut net = VirtualNet::new(TinyLock::pair(), 1);
+        net.install_faults(&crate::faults::FaultPlan::new(5).drop_rate(0.4).dup_rate(0.2));
+        net.enable_reliability(crate::reliable::Reliability::default());
+        let mut rng = StdRng::seed_from_u64(11);
+        // The harness itself asserts full completion: with the session
+        // layer on, a 40% drop rate is recovered and liveness is owed.
+        let rep = run_faulty_workload(&mut net, &tiny_cfg(6), &mut rng);
+        assert_eq!(rep.cs_completed, 12);
+        assert!(rep.starved.is_empty());
+        assert!(rep.stats.dropped_link > 0, "the plan did drop frames");
+        assert!(rep.reliability.retransmits > 0, "recovery took retransmissions");
+        assert!(rep.reliability.acks_sent + rep.reliability.acks_piggybacked > 0);
+    }
+
+    #[test]
+    fn reliability_on_clean_links_costs_no_retransmission() {
+        let mut net = VirtualNet::new(TinyLock::pair(), 1);
+        net.enable_reliability(crate::reliable::Reliability::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        let rep = run_faulty_workload(&mut net, &tiny_cfg(6), &mut rng);
+        assert_eq!(rep.cs_completed, 12);
+        assert_eq!(rep.reliability.retransmits, 0);
+        assert_eq!(rep.reliability.gap_dropped, 0);
+        assert_eq!(rep.reliability.dup_dropped, 0);
+        assert!(rep.reliability.data_sent > 0);
+    }
+
+    #[test]
+    fn reliability_redelivers_wire_duplicates_and_dedups_them() {
+        let mut net = VirtualNet::new(TinyLock::pair(), 1);
+        net.install_faults(&crate::faults::FaultPlan::new(5).dup_rate(1.0));
+        net.enable_reliability(crate::reliable::Reliability::default());
+        let mut rng = StdRng::seed_from_u64(7);
+        let rep = run_faulty_workload(&mut net, &tiny_cfg(6), &mut rng);
+        assert_eq!(rep.cs_completed, 12);
+        assert!(rep.stats.duplicated > 0);
+        // Session-layer mode: the wire really carries the copies and the
+        // dedup window — not the fault layer — absorbs them.
+        assert_eq!(rep.stats.deduped, 0);
+        assert!(rep.reliability.dup_dropped > 0);
     }
 
     #[test]

@@ -37,6 +37,14 @@ pub mod driver;
 pub mod faults {
     pub use mra_protocol::faults::*;
 }
+/// The reliable-delivery session layer (re-exported from
+/// [`mra_protocol::reliable`], where the per-link session protocol lives
+/// so all substrates share it): [`reliable::Reliability`] configures RTO
+/// and backoff; [`Sim::set_reliability`] threads it through the event
+/// loop, restoring exactly-once FIFO delivery under lossy fault plans.
+pub mod reliable {
+    pub use mra_protocol::reliable::*;
+}
 pub mod latency;
 pub mod metrics;
 pub mod runtime;
@@ -49,6 +57,7 @@ pub use driver::{FixedWorkload, Workload};
 pub use faults::{FaultPlan, FaultStats};
 pub use latency::LatencyModel;
 pub use metrics::{ReqRecord, RunResult, WaitStats};
+pub use reliable::{Reliability, ReliabilityStats};
 pub use runtime::{drive_node, NodeCfg, NodePort, PortEvent, RunShared};
 pub use sim::{Sim, SimConfig};
 pub use threaded::{run_threaded, ThreadedConfig};

@@ -3,6 +3,7 @@
 
 use crate::stats;
 use mra_protocol::faults::FaultStats;
+use mra_protocol::reliable::ReliabilityStats;
 use mra_types::{NodeId, ResourceSet, Time};
 
 /// Full life of one critical-section request.
@@ -50,6 +51,11 @@ impl WaitStats {
     /// [`stats::percentile_sorted`] fast path instead of re-sorting a clone
     /// per percentile (this sits on the per-report hot path of every
     /// figure sweep and bench run).
+    ///
+    /// With zero samples `median_ms`/`p95_ms` are `NaN` (a percentile of
+    /// nothing does not exist — see [`stats::percentile`]); render them
+    /// with [`WaitStats::cell`], which writes `"n/a"` instead of leaking
+    /// `NaN` into tables and CSVs.
     pub fn from_ms(mut ms: Vec<f64>) -> Self {
         ms.sort_by(|a, b| a.total_cmp(b));
         WaitStats {
@@ -58,6 +64,17 @@ impl WaitStats {
             std_ms: stats::std_dev(&ms),
             median_ms: stats::percentile_sorted(&ms, 50.0),
             p95_ms: stats::percentile_sorted(&ms, 95.0),
+        }
+    }
+
+    /// Format one statistic for a table or CSV cell with `prec` decimal
+    /// places; non-finite values (the empty-sample `NaN` percentiles)
+    /// render as `"n/a"`.
+    pub fn cell(value: f64, prec: usize) -> String {
+        if value.is_finite() {
+            format!("{value:.prec$}")
+        } else {
+            "n/a".to_string()
         }
     }
 }
@@ -101,6 +118,10 @@ pub struct RunResult {
     /// under the threaded/TCP runtimes, whose per-link filters are not
     /// aggregated here).
     pub faults: FaultStats,
+    /// What the reliable session layer did during the run (all-zero when
+    /// reliability is off, and under the threaded/TCP runtimes, whose
+    /// per-port sessions are not aggregated here).
+    pub reliability: ReliabilityStats,
 }
 
 impl RunResult {
@@ -354,6 +375,7 @@ impl Collector {
             events_processed: 0,
             wall_ns: 0,
             faults: FaultStats::default(),
+            reliability: ReliabilityStats::default(),
         }
     }
 }

@@ -15,6 +15,7 @@ use crate::driver::{Driver, DriverState, Workload};
 use crate::latency::LatencyModel;
 use crate::metrics::{Collector, RunResult};
 use mra_protocol::faults::{Admit, FaultPlan, FaultState, FaultStats};
+use mra_protocol::reliable::{Reliability, ReliabilityStats, ReliableState, RtoVerdict};
 use mra_protocol::testkit::SafetyMonitor;
 use mra_protocol::{Allocator, Ctx, WireMsg};
 use mra_types::{NodeId, Time};
@@ -60,7 +61,21 @@ impl SimConfig {
 }
 
 enum Ev<M> {
+    /// Perfect-link delivery (reliability off).
     Deliver { from: NodeId, to: NodeId, msg: M },
+    /// Session-layer data frame (reliability on): sequenced, carries a
+    /// piggybacked cumulative ack for the reverse direction.
+    DeliverData {
+        from: NodeId,
+        to: NodeId,
+        seq: u64,
+        ack: u64,
+        msg: M,
+    },
+    /// Session-layer standalone cumulative ack.
+    DeliverAck { from: NodeId, to: NodeId, ack: u64 },
+    /// Retransmit timer of the directed link `from → to`.
+    Rto { from: NodeId, to: NodeId },
     Think { node: NodeId },
     CsEnd { node: NodeId },
 }
@@ -210,6 +225,15 @@ impl<M> EventQueue<M> {
     fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Pre-reserve heap, slab and free-list capacity for `extra` more
+    /// in-flight events, so a later population peak does not reallocate
+    /// (the zero-alloc guard pre-sizes for retransmission bursts).
+    fn reserve(&mut self, extra: usize) {
+        self.heap.reserve(extra);
+        self.slab.reserve(extra);
+        self.free.reserve(self.slab.capacity().saturating_sub(self.free.len()));
+    }
 }
 
 struct SimNode<A: Allocator, W> {
@@ -239,6 +263,8 @@ pub struct Sim<A: Allocator, W: Workload> {
     horizon_cut: bool,
     /// Installed fault layer, if any (event-pop injection).
     faults: Option<FaultState>,
+    /// Installed reliable-delivery session layer, if any.
+    reliable: Option<ReliableState<A::Msg>>,
     /// Set by [`Sim::init`]; guards against double initialization.
     initialized: bool,
 }
@@ -281,6 +307,7 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
             events: 0,
             horizon_cut: false,
             faults: None,
+            reliable: None,
             initialized: false,
         }
     }
@@ -304,6 +331,40 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
         self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
     }
 
+    /// Enable the reliable-delivery session layer
+    /// ([`mra_protocol::reliable`]): every protocol message is sequenced
+    /// into a per-link session, receivers dedup and ack (piggybacked on
+    /// reverse traffic, standalone otherwise), and retransmit timers —
+    /// scheduled through the ordinary event heap — re-send unacked frames
+    /// with capped exponential backoff.  Combined with a
+    /// [recoverable](FaultPlan::is_recoverable) fault plan this restores
+    /// the paper's exactly-once FIFO channel model, and the end-of-run
+    /// deadlock check stays **armed** even though the plan is lossy.
+    ///
+    /// Off (the default) is the paper-faithful perfect-link mode: nothing
+    /// about the simulation changes.
+    ///
+    /// # Panics
+    /// If called after [`Sim::init`].
+    pub fn set_reliability(&mut self, cfg: Reliability) {
+        assert!(!self.initialized, "enable reliability before init()");
+        self.reliable = Some(ReliableState::new(cfg, self.n));
+    }
+
+    /// Session-layer counters accumulated so far (zero when disabled).
+    pub fn reliability_stats(&self) -> ReliabilityStats {
+        self.reliable.as_ref().map(|r| r.stats).unwrap_or_default()
+    }
+
+    /// Pre-reserve event-queue capacity for `slots` more in-flight events.
+    /// Steady-state dispatch never allocates once the queue has grown to
+    /// its peak population; this lets allocation-sensitive probes (the
+    /// zero-alloc guard) put the peak — retransmission bursts included —
+    /// inside pre-sized buffers up front.
+    pub fn reserve_events(&mut self, slots: usize) {
+        self.queue.reserve(slots);
+    }
+
     fn push(&mut self, at: Time, ev: Ev<A::Msg>) {
         self.queue.push(at, ev);
     }
@@ -324,18 +385,58 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
         let net_rng = &mut self.net_rng;
         let now = self.now;
         let n = self.n;
-        for (to, msg) in node.ctx.drain_outbox() {
-            // `sample` fast-paths deterministic models (the paper's
-            // γ = const) without touching the RNG.
-            let lat = latency.sample(from, to, net_rng);
-            let link = from * n + to;
-            // Reliable FIFO links: never deliver before an earlier message
-            // on the same link (1 ns separation keeps strict order even
-            // under jittered latency).
-            let at = (now + lat).max(fifo_last[link] + Time::from_nanos(1));
-            fifo_last[link] = at;
-            queue.push(at, Ev::Deliver { from, to, msg });
+        match self.reliable.as_mut() {
+            None => {
+                for (to, msg) in node.ctx.drain_outbox() {
+                    // `sample` fast-paths deterministic models (the paper's
+                    // γ = const) without touching the RNG.
+                    let lat = latency.sample(from, to, net_rng);
+                    let link = from * n + to;
+                    // Reliable FIFO links: never deliver before an earlier
+                    // message on the same link (1 ns separation keeps
+                    // strict order even under jittered latency).
+                    let at = (now + lat).max(fifo_last[link] + Time::from_nanos(1));
+                    fifo_last[link] = at;
+                    queue.push(at, Ev::Deliver { from, to, msg });
+                }
+            }
+            Some(st) => {
+                for (to, msg) in node.ctx.drain_outbox() {
+                    // Session mode: stamp the frame, retain the retransmit
+                    // copy, piggyback the cumulative ack, and make sure a
+                    // retransmit timer is ticking for this link.
+                    let (seq, ack) = st.on_send(from, to, &msg, now);
+                    let lat = latency.sample(from, to, net_rng);
+                    let link = from * n + to;
+                    let at = (now + lat).max(fifo_last[link] + Time::from_nanos(1));
+                    fifo_last[link] = at;
+                    queue.push(at, Ev::DeliverData { from, to, seq, ack, msg });
+                    if st.needs_arm(from, to) {
+                        queue.push(now + st.rto_delay(from, to), Ev::Rto { from, to });
+                    }
+                }
+            }
         }
+    }
+
+    /// If `to` still owes `from` an ack for the data link `from → to`
+    /// (no reply piggybacked it), put the standalone ack frame on the
+    /// reverse wire.  No-op with reliability off.
+    fn flush_pending_ack(&mut self, from: NodeId, to: NodeId) {
+        let Some(st) = self.reliable.as_mut() else {
+            return;
+        };
+        let Some(ack) = st.pending_ack(from, to) else {
+            return;
+        };
+        let lat = self.cfg.latency.sample(to, from, &mut self.net_rng);
+        // Acks bypass the FIFO tiebreak on purpose: a cumulative ack is
+        // order-insensitive (applying an older value after a newer one is
+        // a no-op), and exempting it keeps data-frame timing — and thus
+        // every protocol outcome under constant latency — identical to the
+        // reliability-off schedule when no frame is ever lost.
+        self.queue
+            .push(self.now + lat, Ev::DeliverAck { from: to, to: from, ack });
     }
 
     fn post_dispatch(&mut self, i: NodeId) {
@@ -413,7 +514,9 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
                             self.queue.push(when, Ev::Deliver { from, to, msg });
                             return true;
                         }
-                        Admit::Deliver => {}
+                        // `admit` folds wire duplicates into Deliver; the
+                        // variant only flows out of `admit_wire`.
+                        Admit::Deliver | Admit::Duplicate => {}
                     }
                 }
                 self.collector.on_message(msg.kind(), msg.weight());
@@ -421,6 +524,112 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
                 node.ctx.set_now(self.now);
                 node.proto.on_message(&mut node.ctx, from, msg);
                 self.post_dispatch(to);
+            }
+            Ev::DeliverData { from, to, seq, ack, msg } => {
+                // A wire duplicate is a one-off copy arriving right behind
+                // the original; it is absorbed by the receive window
+                // inline (it never re-enters the fault filter — a copy of
+                // a copy would cascade at high dup rates).
+                let mut dup_copy = false;
+                if let Some(fs) = self.faults.as_mut() {
+                    match fs.admit_wire(from, to, at) {
+                        Admit::Drop => return true,
+                        Admit::Defer(until) => {
+                            let when = until.max(at + Time::from_nanos(1));
+                            self.queue
+                                .push(when, Ev::DeliverData { from, to, seq, ack, msg });
+                            return true;
+                        }
+                        Admit::Duplicate => dup_copy = true,
+                        Admit::Deliver => {}
+                    }
+                }
+                let st = self
+                    .reliable
+                    .as_mut()
+                    .expect("data frame without a session layer");
+                let deliver = st.on_data(from, to, seq, ack);
+                if dup_copy {
+                    // Stale by construction: the original just ran.
+                    st.on_data(from, to, seq, ack);
+                }
+                if deliver {
+                    self.collector.on_message(msg.kind(), msg.weight());
+                    let node = &mut self.nodes[to];
+                    node.ctx.set_now(self.now);
+                    node.proto.on_message(&mut node.ctx, from, msg);
+                    self.post_dispatch(to);
+                }
+                // The handler's reply (if any) piggybacked the ack inside
+                // `post_dispatch`; otherwise a standalone ack goes out now.
+                self.flush_pending_ack(from, to);
+            }
+            Ev::DeliverAck { from, to, ack } => {
+                if let Some(fs) = self.faults.as_mut() {
+                    match fs.admit_wire(from, to, at) {
+                        Admit::Drop => return true,
+                        Admit::Defer(until) => {
+                            let when = until.max(at + Time::from_nanos(1));
+                            self.queue.push(when, Ev::DeliverAck { from, to, ack });
+                            return true;
+                        }
+                        // A duplicated ack is idempotent: apply once.
+                        Admit::Deliver | Admit::Duplicate => {}
+                    }
+                }
+                self.reliable
+                    .as_mut()
+                    .expect("ack frame without a session layer")
+                    .on_ack(from, to, ack);
+            }
+            Ev::Rto { from, to } => {
+                // The sender owns this timer: a frozen/crashed node's
+                // timers resume at restart, like its Think/CsEnd timers.
+                if let Some(fs) = self.faults.as_mut() {
+                    if let Some((_, until)) = fs.outage(from, at) {
+                        fs.stats.deferred += 1;
+                        let when = until.max(at + Time::from_nanos(1));
+                        self.queue.push(when, Ev::Rto { from, to });
+                        return true;
+                    }
+                }
+                let st = self
+                    .reliable
+                    .as_mut()
+                    .expect("rto without a session layer");
+                match st.on_rto(from, to, at) {
+                    // Everything acked in the meantime; the timer dies and
+                    // the next send re-arms it.
+                    RtoVerdict::Idle => return true,
+                    // The oldest unacked frame is younger than the timeout
+                    // (the timer was armed for an already-acked frame):
+                    // follow it without retransmitting or backing off.
+                    RtoVerdict::Rearm(when) => {
+                        self.queue.push(when, Ev::Rto { from, to });
+                        return true;
+                    }
+                    RtoVerdict::Retransmit(_) => {}
+                }
+                let delay = st.rto_delay(from, to);
+                // Re-send the whole unacked window (go-back-N) with fresh
+                // latency samples, then re-arm with the backed-off delay.
+                // Field-disjoint borrows: the session state is read while
+                // the queue/FIFO table/RNG are written.
+                let st = self.reliable.as_ref().expect("session layer vanished");
+                let queue = &mut self.queue;
+                let fifo_last = &mut self.fifo_last;
+                let latency = &self.cfg.latency;
+                let net_rng = &mut self.net_rng;
+                let n = self.n;
+                let link = from * n + to;
+                let ack = st.ack_for(from, to);
+                for (seq, msg) in st.unacked(from, to) {
+                    let lat = latency.sample(from, to, net_rng);
+                    let when = (at + lat).max(fifo_last[link] + Time::from_nanos(1));
+                    fifo_last[link] = when;
+                    queue.push(when, Ev::DeliverData { from, to, seq, ack, msg: msg.clone() });
+                }
+                queue.push(at + delay, Ev::Rto { from, to });
             }
             Ev::Think { node: i } => {
                 // A down node (paused or crashed) does not run its
@@ -508,10 +717,18 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
         // Sanity: a *naturally* exhausted event queue (no horizon cut) with
         // a node still waiting is a genuine deadlock — nothing can ever
         // unblock it.  A horizon cut is not: the unblocking event may have
-        // been dropped.  Neither is a lossy fault plan: a dropped token
-        // legitimately starves its waiters (the starvation shows up as
-        // `censored` requests instead).
-        let lossy = self.faults.as_ref().is_some_and(|f| f.plan().is_lossy());
+        // been dropped.  Neither is a lossy fault plan *without* the
+        // session layer: a dropped token legitimately starves its waiters
+        // (the starvation shows up as `censored` requests instead).  With
+        // reliability enabled the check is re-armed for every recoverable
+        // plan (drop rates < 1.0): retransmission owes liveness again.
+        let recovered = self.reliable.is_some()
+            && self
+                .faults
+                .as_ref()
+                .map_or(true, |f| f.plan().is_recoverable());
+        let lossy =
+            self.faults.as_ref().is_some_and(|f| f.plan().is_lossy()) && !recovered;
         if !self.horizon_cut && self.queue.is_empty() && !lossy {
             for i in 0..active {
                 if self.nodes[i].driver.state() == DriverState::Waiting {
@@ -525,10 +742,12 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
         }
 
         let fault_stats = self.fault_stats();
+        let rel_stats = self.reliability_stats();
         let mut res = self.collector.finish(&algo, self.n, self.now.min(self.end_at));
         res.events_processed = self.events;
         res.wall_ns = wall_ns;
         res.faults = fault_stats;
+        res.reliability = rel_stats;
         res
     }
 }
@@ -791,6 +1010,111 @@ mod tests {
         let mut sim = Sim::new(cfg.build_nodes(), fixed(2, 4, 1), 4, SimConfig::quick(1));
         sim.init();
         sim.set_fault_plan(FaultPlan::new(1));
+    }
+
+    #[test]
+    fn reliability_recovers_heavy_loss_with_liveness_armed() {
+        let run = |loss: f64, reliable: bool| {
+            let cfg = LassConfig::with_loan(4, 8);
+            let mut sim = Sim::new(cfg.build_nodes(), fixed(4, 8, 2), 8, SimConfig::quick(5));
+            sim.set_fault_plan(FaultPlan::new(7).drop_rate(loss));
+            if reliable {
+                // A tight RTO (≈ 3 × the paper's γ RTT) keeps recovery
+                // stalls comparable to the CS/think times of the workload.
+                sim.set_reliability(Reliability::with_rto(Time::from_millis(2)));
+            }
+            sim.run()
+        };
+        let bare = run(0.2, false);
+        let recovered = run(0.2, true);
+        // 20% sustained loss collapses the bare protocol (every node's
+        // request path eventually hits a fatal drop); the session layer
+        // recovers every loss and multiplies throughput back.
+        assert!(recovered.faults.dropped_link > 0);
+        assert!(recovered.reliability.retransmits > 0);
+        assert!(
+            recovered.cs_completed > 3 * bare.cs_completed.max(1),
+            "reliability did not recover throughput: {} vs bare {}",
+            recovered.cs_completed,
+            bare.cs_completed
+        );
+        // The liveness check ran armed (the plan is recoverable): reaching
+        // here without a panic is the assertion; starved requests would
+        // also show up as censored, which retransmission prevents.
+        assert_eq!(recovered.censored, 0, "reliable run starved a request");
+    }
+
+    #[test]
+    fn reliability_on_perfect_links_changes_no_protocol_outcome() {
+        let run = |reliable: bool| {
+            let cfg = LassConfig::with_loan(4, 8);
+            let mut sim = Sim::new(cfg.build_nodes(), fixed(4, 8, 2), 8, SimConfig::quick(17));
+            if reliable {
+                sim.set_reliability(Reliability::default());
+            }
+            sim.run()
+        };
+        let off = run(false);
+        let on = run(true);
+        // Same protocol outcomes: no frame is ever lost, so no
+        // retransmission and no reordering — the sessions are pure
+        // bookkeeping plus ack traffic.
+        assert_eq!(off.cs_completed, on.cs_completed);
+        assert_eq!(off.msgs_total, on.msgs_total);
+        assert_eq!(on.reliability.retransmits, 0);
+        assert_eq!(on.reliability.gap_dropped, 0);
+        assert_eq!(on.reliability.data_sent, on.msgs_total);
+        assert!(on.reliability.acks_sent + on.reliability.acks_piggybacked > 0);
+        assert_eq!(off.reliability, ReliabilityStats::default());
+    }
+
+    #[test]
+    fn reliable_lossy_runs_are_deterministic() {
+        let run = || {
+            let cfg = LassConfig::with_loan(4, 8);
+            let mut sim = Sim::new(cfg.build_nodes(), fixed(4, 8, 2), 8, SimConfig::quick(23));
+            sim.set_fault_plan(FaultPlan::new(9).drop_rate(0.15).dup_rate(0.1));
+            sim.set_reliability(Reliability::default());
+            sim.run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.cs_completed, b.cs_completed);
+        assert_eq!(a.msgs_total, b.msgs_total);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.reliability, b.reliability);
+        assert!(a.reliability.dup_dropped > 0, "dups were delivered and absorbed");
+    }
+
+    #[test]
+    fn rto_env_knob_shapes_recovery() {
+        // A shorter RTO recovers lost frames sooner: strictly more (or
+        // equal) critical sections inside the same window.
+        let run = |rto_ms: u64| {
+            let cfg = LassConfig::with_loan(4, 8);
+            let mut sim = Sim::new(cfg.build_nodes(), fixed(4, 8, 2), 8, SimConfig::quick(5));
+            sim.set_fault_plan(FaultPlan::new(7).drop_rate(0.2));
+            sim.set_reliability(Reliability::with_rto(Time::from_millis(rto_ms)));
+            sim.run()
+        };
+        let fast = run(2);
+        let slow = run(80);
+        assert!(
+            fast.cs_completed >= slow.cs_completed,
+            "2 ms RTO ({}) should beat 80 ms ({})",
+            fast.cs_completed,
+            slow.cs_completed
+        );
+        assert!(fast.reliability.retransmits > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before init()")]
+    fn reliability_rejected_after_init() {
+        let cfg = LassConfig::with_loan(2, 4);
+        let mut sim = Sim::new(cfg.build_nodes(), fixed(2, 4, 1), 4, SimConfig::quick(1));
+        sim.init();
+        sim.set_reliability(Reliability::default());
     }
 
     #[test]

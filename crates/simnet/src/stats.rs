@@ -22,20 +22,26 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 }
 
 /// `q`-th percentile (`0 ≤ q ≤ 100`) with linear interpolation.
-/// The input need not be sorted; 0 for an empty slice.
+/// The input need not be sorted.
+///
+/// **Empty input:** a percentile of zero samples does not exist; the
+/// result is defined as `NaN` (it used to be a silent `0.0`, which is a
+/// plausible-looking lie in tables).  Renderers turn it into `"n/a"` via
+/// [`crate::WaitStats::cell`]; it must never flow into arithmetic.
 pub fn percentile(xs: &[f64], q: f64) -> f64 {
     if xs.is_empty() {
-        return 0.0;
+        return f64::NAN;
     }
     let mut v: Vec<f64> = xs.to_vec();
     v.sort_by(|a, b| a.total_cmp(b));
     percentile_sorted(&v, q)
 }
 
-/// Percentile of an already sorted slice.
+/// Percentile of an already sorted slice.  `NaN` for an empty slice (see
+/// [`percentile`]).
 pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
-        return 0.0;
+        return f64::NAN;
     }
     let q = q.clamp(0.0, 100.0);
     let pos = q / 100.0 * (sorted.len() - 1) as f64;
@@ -49,7 +55,8 @@ pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
     }
 }
 
-/// Median (50th percentile).
+/// Median (50th percentile).  `NaN` for an empty slice (see
+/// [`percentile`]).
 pub fn median(xs: &[f64]) -> f64 {
     percentile(xs, 50.0)
 }
@@ -95,5 +102,17 @@ mod tests {
         let xs = [1.0, 2.0];
         assert_eq!(percentile(&xs, -5.0), 1.0);
         assert_eq!(percentile(&xs, 400.0), 2.0);
+    }
+
+    #[test]
+    fn empty_input_percentiles_are_nan_not_zero() {
+        // A percentile of zero samples does not exist — reporting 0.0
+        // looked like a legitimate measurement in tables and CSVs.
+        assert!(percentile(&[], 50.0).is_nan());
+        assert!(percentile_sorted(&[], 95.0).is_nan());
+        assert!(median(&[]).is_nan());
+        // Mean/std keep their documented 0 conventions.
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
     }
 }

@@ -13,6 +13,7 @@
 
 use mra_protocol::testkit::EchoProbe;
 use mra_sim::faults::FaultPlan;
+use mra_sim::reliable::Reliability;
 use mra_sim::{FixedWorkload, LatencyModel, Sim, SimConfig};
 use mra_types::Time;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -53,7 +54,7 @@ fn allocs_on_this_thread() -> u64 {
 
 #[test]
 fn steady_state_deliver_dispatch_is_allocation_free() {
-    assert_zero_alloc_dispatch(None, 3);
+    assert_zero_alloc_dispatch(None, None, 3);
 }
 
 /// Same guard with a [`FaultPlan`] installed: the fault admission path
@@ -74,10 +75,28 @@ fn steady_state_dispatch_with_fault_plan_is_allocation_free() {
         .partition(vec![0, 1], far, later)
         .pause(2, far, later);
     // Fan 40: node 0 seeds 40 balls per peer = 120 concurrent ping-pongs.
-    assert_zero_alloc_dispatch(Some(plan), 40);
+    assert_zero_alloc_dispatch(Some(plan), None, 40);
 }
 
-fn assert_zero_alloc_dispatch(plan: Option<FaultPlan>, fan: u64) {
+/// Same guard with the reliable session layer enabled over a *lossy* plan:
+/// the full recovery machinery is live in steady state — per-frame
+/// sequencing into pre-sized per-link ring buffers, piggybacked and
+/// standalone acks, duplicate absorption by the receive window, and
+/// retransmit timers cycling through the event heap — and none of it may
+/// allocate.  The window and event-slab headroom are pre-sized up front
+/// (`Reliability::window`, `Sim::reserve_events`), exactly how a
+/// production deployment would bound its memory.
+#[test]
+fn steady_state_dispatch_with_reliability_over_loss_is_allocation_free() {
+    let plan = FaultPlan::new(0xFA17).drop_rate(0.0005).dup_rate(0.05);
+    let mut rel = Reliability::with_rto(Time::from_millis(5));
+    // Cover the worst-case unacked backlog of 120 in-flight balls per
+    // direction plus retransmission races.
+    rel.window = 512;
+    assert_zero_alloc_dispatch(Some(plan), Some(rel), 40);
+}
+
+fn assert_zero_alloc_dispatch(plan: Option<FaultPlan>, reliability: Option<Reliability>, fan: u64) {
     let n = 4;
     // Several balls in flight exercise the slab free list beyond the
     // single-slot case.
@@ -102,11 +121,17 @@ fn assert_zero_alloc_dispatch(plan: Option<FaultPlan>, fan: u64) {
     if let Some(p) = plan {
         sim.set_fault_plan(p);
     }
+    if let Some(r) = reliability {
+        sim.set_reliability(r);
+        // Headroom for ack events and retransmission bursts: the event
+        // population peak must land inside pre-sized buffers.
+        sim.reserve_events(8_192);
+    }
     sim.init();
 
     // Warmup: grow every buffer (outbox, heap, slab, kind table) to its
     // steady-state footprint.
-    for _ in 0..2_000 {
+    for _ in 0..4_000 {
         assert!(sim.step(), "probe ran out of events during warmup");
     }
 

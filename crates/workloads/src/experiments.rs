@@ -13,11 +13,13 @@
 //! sequential run) — control the worker count with `MRA_THREADS`.
 
 use crate::pool;
-use crate::runner::{run, run_with_faults, Algorithm};
+use crate::runner::{run, run_configured, Algorithm};
 use crate::scenario::{Load, Scenario};
 use crate::table::Table;
 use mra_sim::faults::FaultPlan;
+use mra_sim::reliable::Reliability;
 use mra_sim::WaitStats;
+use mra_types::Time;
 
 /// Measurement window (seconds) honoring `MRA_MEASURE_SECS` / `MRA_FAST`,
 /// for the figure sweeps (10 s full, 2 s fast).
@@ -207,10 +209,10 @@ pub fn fig6_table(rows: &[Fig6Row]) -> Table {
         t.row(vec![
             r.load.label().into(),
             r.algo.label().into(),
-            format!("{:.1}", r.wait.mean_ms),
-            format!("{:.1}", r.wait.std_ms),
-            format!("{:.1}", r.wait.median_ms),
-            format!("{:.1}", r.wait.p95_ms),
+            WaitStats::cell(r.wait.mean_ms, 1),
+            WaitStats::cell(r.wait.std_ms, 1),
+            WaitStats::cell(r.wait.median_ms, 1),
+            WaitStats::cell(r.wait.p95_ms, 1),
             r.wait.count.to_string(),
             r.censored.to_string(),
         ]);
@@ -281,8 +283,8 @@ pub fn fig7_tables(rows: &[Fig7Row]) -> Vec<Table> {
             t.row(vec![
                 r.algo.label().into(),
                 format!("{}-{}", r.size_lo, r.size_hi),
-                format!("{:.1}", r.wait.mean_ms),
-                format!("{:.1}", r.wait.std_ms),
+                WaitStats::cell(r.wait.mean_ms, 1),
+                WaitStats::cell(r.wait.std_ms, 1),
                 r.wait.count.to_string(),
             ]);
         }
@@ -291,22 +293,27 @@ pub fn fig7_tables(rows: &[Fig7Row]) -> Vec<Table> {
     tables
 }
 
-/// The loss-rate grid of the fault-robustness sweep (`fig_faults`).  The
-/// protocols have **no retransmission layer** (the paper assumes reliable
-/// links), so under *sustained* loss every node eventually hits a fatal
-/// drop on its request path and starves for the rest of the run: the
-/// interesting regime is per-mille frame loss, where the window shows
-/// partial degradation before the collapse cliff.  0 anchors the
-/// degradation baseline.  (The fault *property tests* separately push
-/// drops to 20% on short quota workloads, where starvation is tolerated
-/// and only safety/conservation are asserted.)
-pub const FIG_FAULTS_LOSSES: [f64; 6] = [0.0, 1e-4, 2.5e-4, 5e-4, 1e-3, 2e-3];
+/// The loss-rate grid of the fault-robustness ablation (`fig_faults`).
+/// With the session layer **off** the protocols have no retransmission
+/// (the paper assumes reliable links), so under *sustained* loss every
+/// node eventually hits a fatal drop on its request path and starves: the
+/// per-mille points show partial degradation before the collapse cliff.
+/// With the session layer **on**, losses are recovered at retransmission
+/// cost, so the grid extends into the percent range where the overhead
+/// curve becomes visible.  0 anchors the degradation baselines.  (The
+/// fault *property tests* separately push drops to 20% on short quota
+/// workloads.)
+pub const FIG_FAULTS_LOSSES: [f64; 8] =
+    [0.0, 1e-4, 5e-4, 2e-3, 1e-2, 5e-2, 1e-1, 2e-1];
 
-/// One point of the fault sweep: one algorithm at one loss rate.
+/// One point of the fault sweep: one algorithm at one loss rate, with the
+/// reliable session layer on or off.
 #[derive(Clone, Debug)]
 pub struct FaultRow {
     /// Per-link frame drop probability.
     pub loss: f64,
+    /// Was the reliable-delivery session layer enabled?
+    pub reliable: bool,
     /// Algorithm.
     pub algo: Algorithm,
     /// Critical sections completed in the window.
@@ -318,31 +325,49 @@ pub struct FaultRow {
     pub censored: u64,
     /// Frames the fault layer dropped.
     pub dropped: u64,
-    /// Throughput lost vs the same algorithm's zero-loss baseline, in
-    /// percent (0 at the baseline itself; `NaN` if the baseline is empty).
+    /// Data frames re-sent by retransmit timers (0 with reliability off).
+    pub retransmits: u64,
+    /// Ack frames: standalone + piggybacked (0 with reliability off).
+    pub acks: u64,
+    /// Session-layer wire overhead: `(retransmits + standalone acks) /
+    /// data frames`, in percent (0 with reliability off).
+    pub overhead_pct: f64,
+    /// Throughput lost vs the same algorithm-and-mode's zero-loss
+    /// baseline, in percent (0 at the baseline itself; `NaN` if the
+    /// baseline is empty).
     pub degradation_pct: f64,
 }
 
-/// Fault-robustness sweep: loss rate × algorithm (all six protocol
-/// families) on an 8-node paper-LAN scenario, measuring how CS throughput
-/// degrades as the network loses frames.  `fault_seed` seeds the
-/// deterministic drop decisions (`MRA_FAULT_SEED` in the binary); the
-/// workload seed stays separate so loss is the *only* difference between
-/// grid columns.  Grid points run in parallel (`MRA_THREADS`), output in
-/// input order.
+/// The [`Reliability`] used by the sweep's reliability-on mode: default
+/// 10 ms RTO, overridable through `MRA_RTO_MS` (fractional milliseconds).
+pub fn sweep_reliability() -> Reliability {
+    Reliability::with_rto(Reliability::env_rto_or(Time::from_millis(10)))
+}
+
+/// Fault-robustness ablation: loss rate × reliability mode × algorithm
+/// (all six protocol families) on an 8-node paper-LAN scenario, measuring
+/// CS-throughput degradation as the network loses frames — and how much of
+/// it the reliable session layer (`mra_sim::reliable`) buys back, at what
+/// retransmission overhead.  `fault_seed` seeds the deterministic drop
+/// decisions (`MRA_FAULT_SEED` in the binary); the workload seed stays
+/// separate so loss is the *only* difference between grid columns.  Grid
+/// points run in parallel (`MRA_THREADS`), output in input order.
 pub fn fig_faults(
     losses: &[f64],
+    modes: &[bool],
     seed: u64,
     fault_seed: u64,
     measure_secs: f64,
 ) -> Vec<FaultRow> {
     let mut grid = Vec::new();
     for &loss in losses {
-        for algo in Algorithm::fault_set() {
-            grid.push((loss, algo));
+        for &reliable in modes {
+            for algo in Algorithm::fault_set() {
+                grid.push((loss, reliable, algo));
+            }
         }
     }
-    let mut rows = pool::sweep(grid, |(loss, algo)| {
+    let mut rows = pool::sweep(grid, |(loss, reliable, algo)| {
         let sc = Scenario::builder()
             .nodes(8)
             .resources(16)
@@ -352,9 +377,11 @@ pub fn fig_faults(
             .measure_secs(measure_secs)
             .build();
         let plan = FaultPlan::new(fault_seed).drop_rate(loss);
-        let res = run_with_faults(algo, &sc, Some(&plan));
+        let rel = reliable.then(sweep_reliability);
+        let res = run_configured(algo, &sc, Some(&plan), rel);
         FaultRow {
             loss,
+            reliable,
             algo,
             cs_completed: res.cs_completed,
             // Normalized by the *nominal* window, not `res.window`: when
@@ -364,48 +391,108 @@ pub fn fig_faults(
             cs_per_sec: res.cs_completed as f64 / measure_secs,
             censored: res.censored,
             dropped: res.faults.dropped_total(),
+            retransmits: res.reliability.retransmits,
+            acks: res.reliability.acks_sent + res.reliability.acks_piggybacked,
+            overhead_pct: res.reliability.overhead_pct(),
             degradation_pct: f64::NAN, // filled below against the baseline
         }
     });
-    // Baseline per algorithm: the row at the smallest swept loss rate
-    // (conventionally 0).
+    // Baseline per (algorithm, mode): the row at the smallest swept loss
+    // rate (conventionally 0).
     let base_loss = losses.iter().copied().fold(f64::INFINITY, f64::min);
     for algo in Algorithm::fault_set() {
-        let base = rows
-            .iter()
-            .find(|r| r.algo == algo && r.loss == base_loss)
-            .map(|r| r.cs_per_sec)
-            .unwrap_or(0.0);
-        for r in rows.iter_mut().filter(|r| r.algo == algo) {
-            r.degradation_pct = if base > 0.0 {
-                100.0 * (1.0 - r.cs_per_sec / base)
-            } else {
-                f64::NAN
-            };
+        for &reliable in modes {
+            let base = rows
+                .iter()
+                .find(|r| r.algo == algo && r.reliable == reliable && r.loss == base_loss)
+                .map(|r| r.cs_per_sec)
+                .unwrap_or(0.0);
+            for r in rows
+                .iter_mut()
+                .filter(|r| r.algo == algo && r.reliable == reliable)
+            {
+                r.degradation_pct = if base > 0.0 {
+                    100.0 * (1.0 - r.cs_per_sec / base)
+                } else {
+                    f64::NAN
+                };
+            }
         }
     }
     rows
 }
 
-/// Render the fault sweep in matrix layout: one row per loss rate, one
-/// column per algorithm showing `cs_completed (degradation%)`.
+/// The long-format CSV of the fault ablation: one row per (loss, mode,
+/// algorithm) point.  The `fig_faults` binary writes exactly this table
+/// and the sweep-determinism test compares exactly this table, so the
+/// bytes the test certifies are the bytes that ship.
+pub fn fig_faults_csv(rows: &[FaultRow]) -> Table {
+    let mut csv = Table::new(
+        "fig_faults",
+        &[
+            "loss",
+            "reliable",
+            "algorithm",
+            "cs_completed",
+            "cs_per_sec",
+            "degradation_pct",
+            "censored",
+            "dropped_frames",
+            "retransmits",
+            "acks",
+            "overhead_pct",
+        ],
+    );
+    for r in rows {
+        csv.row(vec![
+            // 5 decimals: the interesting grid is per-mille and below.
+            format!("{:.5}", r.loss),
+            if r.reliable { "on".into() } else { "off".into() },
+            r.algo.label().into(),
+            r.cs_completed.to_string(),
+            format!("{:.2}", r.cs_per_sec),
+            format!("{:.2}", r.degradation_pct),
+            r.censored.to_string(),
+            r.dropped.to_string(),
+            r.retransmits.to_string(),
+            r.acks.to_string(),
+            format!("{:.2}", r.overhead_pct),
+        ]);
+    }
+    csv
+}
+
+/// Render the fault ablation in matrix layout: one row per (loss rate,
+/// reliability mode), one column per algorithm showing
+/// `cs_completed (degradation%)`.
 pub fn fig_faults_table(rows: &[FaultRow]) -> Table {
-    let mut header: Vec<String> = vec!["loss".into()];
+    let mut header: Vec<String> = vec!["loss".into(), "reliable".into()];
     header.extend(Algorithm::fault_set().iter().map(|a| a.label().to_string()));
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut t = Table::new(
-        "fig_faults: CS throughput degradation vs frame loss",
+        "fig_faults: CS throughput degradation vs frame loss (reliability ablation)",
         &header_refs,
     );
-    let mut losses: Vec<f64> = rows.iter().map(|r| r.loss).collect();
-    losses.sort_by(|a, b| a.total_cmp(b));
-    losses.dedup();
-    for loss in losses {
-        let mut cells = vec![format!("{:.3}%", 100.0 * loss)];
+    let mut keys: Vec<(u64, bool)> = rows
+        .iter()
+        .map(|r| (r.loss.to_bits(), r.reliable))
+        .collect();
+    keys.sort_by(|a, b| {
+        f64::from_bits(a.0)
+            .total_cmp(&f64::from_bits(b.0))
+            .then(a.1.cmp(&b.1))
+    });
+    keys.dedup();
+    for (loss_bits, reliable) in keys {
+        let loss = f64::from_bits(loss_bits);
+        let mut cells = vec![
+            format!("{:.3}%", 100.0 * loss),
+            if reliable { "on".into() } else { "off".into() },
+        ];
         for algo in Algorithm::fault_set() {
             let cell = rows
                 .iter()
-                .find(|r| r.loss == loss && r.algo == algo)
+                .find(|r| r.loss == loss && r.reliable == reliable && r.algo == algo)
                 .map(|r| {
                     if r.degradation_pct.is_nan() {
                         format!("{} (-)", r.cs_completed)
@@ -495,8 +582,8 @@ pub fn ablation_policy(phi: usize, load: Load, seed: u64, measure_secs: f64) -> 
         vec![
             policy.name().into(),
             format!("{:.1}", 100.0 * res.use_rate()),
-            format!("{:.1}", w.mean_ms),
-            format!("{:.1}", w.p95_ms),
+            WaitStats::cell(w.mean_ms, 1),
+            WaitStats::cell(w.p95_ms, 1),
         ]
     });
     for row in rows {
@@ -544,9 +631,9 @@ mod tests {
 
     #[test]
     fn fig_faults_smoke() {
-        let rows = fig_faults(&[0.0, 0.01], 3, 0xFA17, 0.4);
-        // 2 loss rates × 6 algorithms.
-        assert_eq!(rows.len(), 12);
+        let rows = fig_faults(&[0.0, 0.01], &[false, true], 3, 0xFA17, 0.4);
+        // 2 loss rates × 2 modes × 6 algorithms.
+        assert_eq!(rows.len(), 24);
         for r in rows.iter().filter(|r| r.loss == 0.0) {
             assert_eq!(r.dropped, 0);
             assert!((r.degradation_pct - 0.0).abs() < 1e-9, "baseline degrades");
@@ -554,17 +641,33 @@ mod tests {
         for r in rows.iter().filter(|r| r.loss > 0.0) {
             assert!(r.dropped > 0, "{:?} saw no drops at 1% loss", r.algo);
         }
-        // Sustained 1% loss is far past the collapse cliff of these
-        // retransmission-free protocols: throughput must suffer.
-        let cs = |loss: f64, algo: Algorithm| {
+        for r in rows.iter().filter(|r| !r.reliable) {
+            assert_eq!(r.retransmits, 0);
+            assert_eq!(r.overhead_pct, 0.0);
+        }
+        let cs = |loss: f64, reliable: bool, algo: Algorithm| {
             rows.iter()
-                .find(|r| r.loss == loss && r.algo == algo)
+                .find(|r| r.loss == loss && r.reliable == reliable && r.algo == algo)
                 .unwrap()
                 .cs_completed
         };
-        assert!(cs(0.01, Algorithm::LassLoan) < cs(0.0, Algorithm::LassLoan));
+        // Sustained 1% loss is far past the collapse cliff of the
+        // retransmission-free protocols: throughput must suffer...
+        assert!(cs(0.01, false, Algorithm::LassLoan) < cs(0.0, false, Algorithm::LassLoan));
+        // ...and the session layer must buy a large part of it back.
+        assert!(
+            cs(0.01, true, Algorithm::LassLoan) > cs(0.01, false, Algorithm::LassLoan),
+            "reliability recovered nothing"
+        );
+        let lossy_reliable = rows
+            .iter()
+            .find(|r| r.loss > 0.0 && r.reliable && r.algo == Algorithm::LassLoan)
+            .unwrap();
+        assert!(lossy_reliable.retransmits > 0);
+        assert!(lossy_reliable.overhead_pct > 0.0);
         let table = fig_faults_table(&rows).render();
         assert!(table.contains("fig_faults"), "{table}");
         assert!(table.contains("1.000%"), "{table}");
+        assert!(table.contains("reliable"), "{table}");
     }
 }

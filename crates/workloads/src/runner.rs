@@ -7,6 +7,7 @@ use mra_baselines::{BouabdallahLaforest, Central, GrantPolicy, Incremental, Madd
 use mra_core::LassConfig;
 use mra_protocol::Allocator;
 use mra_sim::faults::FaultPlan;
+use mra_sim::reliable::Reliability;
 use mra_sim::{RunResult, Sim, SimConfig};
 
 /// The algorithms of the evaluation (paper §5) plus the extensions.
@@ -86,17 +87,22 @@ pub fn run(algo: Algorithm, sc: &Scenario) -> RunResult {
     run_with_faults(algo, sc, None)
 }
 
-/// Build the fleet, optionally install the fault plan, run, collect.
+/// Build the fleet, optionally install the fault plan and the reliable
+/// session layer, run, collect.
 fn launch<A: Allocator>(
     nodes: Vec<A>,
     workload_slots: usize,
     sc: &Scenario,
     cfg: SimConfig,
     faults: Option<&FaultPlan>,
+    reliability: Option<Reliability>,
 ) -> RunResult {
     let mut sim = Sim::new(nodes, PaperWorkload::per_node(sc, workload_slots), sc.m, cfg);
     if let Some(plan) = faults {
         sim.set_fault_plan(plan.clone());
+    }
+    if let Some(rel) = reliability {
+        sim.set_reliability(rel);
     }
     sim.run()
 }
@@ -110,25 +116,39 @@ pub fn run_with_faults(
     sc: &Scenario,
     faults: Option<&FaultPlan>,
 ) -> RunResult {
+    run_configured(algo, sc, faults, None)
+}
+
+/// [`run_with_faults`] plus an optional reliable-delivery session layer
+/// (`mra_sim::reliable`): the entry point of the reliability ablation.
+/// With reliability on, a recoverable lossy plan costs retransmission
+/// overhead instead of liveness, and the simulator's deadlock check stays
+/// armed.
+pub fn run_configured(
+    algo: Algorithm,
+    sc: &Scenario,
+    faults: Option<&FaultPlan>,
+    reliability: Option<Reliability>,
+) -> RunResult {
     match algo {
         Algorithm::Incremental => {
             let nodes = Incremental::build_nodes(sc.n, sc.m);
-            launch(nodes, sc.n, sc, sc.sim_config(), faults)
+            launch(nodes, sc.n, sc, sc.sim_config(), faults, reliability)
         }
         Algorithm::BouabdallahLaforest => {
             let nodes = BouabdallahLaforest::build_nodes(sc.n, sc.m);
-            launch(nodes, sc.n, sc, sc.sim_config(), faults)
+            launch(nodes, sc.n, sc, sc.sim_config(), faults, reliability)
         }
         Algorithm::LassNoLoan => {
             let mut cfg = LassConfig::without_loan(sc.n, sc.m);
             cfg.policy = sc.policy;
-            launch(cfg.build_nodes(), sc.n, sc, sc.sim_config(), faults)
+            launch(cfg.build_nodes(), sc.n, sc, sc.sim_config(), faults, reliability)
         }
         Algorithm::LassLoan => {
             let mut cfg = LassConfig::with_loan(sc.n, sc.m);
             cfg.policy = sc.policy;
             cfg.loan = Some(sc.loan_threshold);
-            launch(cfg.build_nodes(), sc.n, sc, sc.sim_config(), faults)
+            launch(cfg.build_nodes(), sc.n, sc, sc.sim_config(), faults, reliability)
         }
         Algorithm::Central | Algorithm::CentralGreedy => {
             let policy = if algo == Algorithm::Central {
@@ -140,11 +160,11 @@ pub fn run_with_faults(
             let mut cfg = sc.sim_config_zero_latency();
             cfg.active_nodes = Some(sc.n);
             // One extra (passive) workload slot for the coordinator.
-            launch(nodes, sc.n + 1, sc, cfg, faults)
+            launch(nodes, sc.n + 1, sc, cfg, faults, reliability)
         }
         Algorithm::Maddi => {
             let nodes = Maddi::build_nodes(sc.n, sc.m);
-            launch(nodes, sc.n, sc, sc.sim_config(), faults)
+            launch(nodes, sc.n, sc, sc.sim_config(), faults, reliability)
         }
     }
 }

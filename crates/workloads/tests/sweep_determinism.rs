@@ -7,7 +7,7 @@
 //! mutation cannot race another test in this binary.
 
 use mra_workloads::experiments::{
-    fig5, fig5_tables, fig6, fig6_table, fig_faults, fig_faults_table,
+    fig5, fig5_tables, fig6, fig6_table, fig_faults, fig_faults_csv, fig_faults_table,
 };
 use mra_workloads::{pool, Load, Table};
 
@@ -34,34 +34,13 @@ fn fig5_artifacts(seed: u64) -> (String, String) {
 }
 
 /// Render the exact artifacts the fig_faults binary emits for a small
-/// loss grid: the matrix table plus the long-format CSV.
+/// loss grid — both reliability modes, like the real ablation: the matrix
+/// table plus the long-format CSV (via the shared `fig_faults_csv`, so
+/// the bytes certified here are the bytes the binary ships).
 fn fig_faults_artifacts(seed: u64) -> (String, String) {
-    let rows = fig_faults(&[0.0, 0.05, 0.2], seed, 0xFA17, 0.3);
+    let rows = fig_faults(&[0.0, 0.05, 0.2], &[false, true], seed, 0xFA17, 0.3);
     let table = fig_faults_table(&rows).render();
-    let mut csv = Table::new(
-        "fig_faults",
-        &[
-            "loss",
-            "algorithm",
-            "cs_completed",
-            "cs_per_sec",
-            "degradation_pct",
-            "censored",
-            "dropped_frames",
-        ],
-    );
-    for r in &rows {
-        csv.row(vec![
-            format!("{:.5}", r.loss),
-            r.algo.label().into(),
-            r.cs_completed.to_string(),
-            format!("{:.2}", r.cs_per_sec),
-            format!("{:.2}", r.degradation_pct),
-            r.censored.to_string(),
-            r.dropped.to_string(),
-        ]);
-    }
-    (table, csv.to_csv())
+    (table, fig_faults_csv(&rows).to_csv())
 }
 
 #[test]

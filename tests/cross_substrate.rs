@@ -1,8 +1,9 @@
-//! Cross-substrate conformance: one fixed scenario — 8 nodes, 16
+//! Cross-substrate conformance: one fixed scenario — 8 active nodes, 16
 //! resources, paper LAN latency (γ = 0.6 ms where the substrate has a
 //! clock), seed 42, fault-free plan — runs on the three in-process
 //! substrates (`VirtualNet`, the discrete-event `Sim`, the mpsc threaded
-//! runtime) and they must agree on `cs_entered` **per node**.
+//! runtime) and they must agree on `cs_entered` **per node**, for **all
+//! six protocol families** of the evaluation.
 //!
 //! The substrates cannot share a message schedule (one has no clock, one
 //! has a virtual clock, one real threads), so agreement is made exact by
@@ -11,17 +12,27 @@
 //! force the identical per-node count — any double grant, lost grant or
 //! phantom CS on any substrate breaks the equality (and the shared
 //! `SafetyMonitor` panics long before).
+//!
+//! The second half of this file is the PR 5 liveness-under-loss matrix:
+//! with the reliable session layer on, a 20% drop plan must cost **zero**
+//! critical sections — the harness asserts full completion, conservation
+//! at quiescence and re-arms the deadlock panic (see
+//! `mra::protocol::reliable`).
 
+use mra::baselines::{BouabdallahLaforest, Central, GrantPolicy, Incremental, Maddi};
 use mra::core::LassConfig;
-use mra::baselines::BouabdallahLaforest;
 use mra::protocol::faults::FaultPlan;
-use mra::protocol::testkit::{run_random_workload, ExerciseCfg, VirtualNet};
+use mra::protocol::reliable::Reliability;
+use mra::protocol::testkit::{
+    run_faulty_workload, run_random_workload, ExerciseCfg, VirtualNet,
+};
 use mra::protocol::Allocator;
 use mra::sim::{
     run_threaded, FixedWorkload, LatencyModel, RunResult, Sim, SimConfig, ThreadedConfig,
     Workload,
 };
 use mra::types::{ResourceSet, Time};
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -62,9 +73,10 @@ fn fixed() -> FixedWorkload {
     }
 }
 
-/// Completed critical sections per node, from the run's request records.
-fn per_node(res: &RunResult) -> Vec<usize> {
-    (0..N)
+/// Completed critical sections for nodes `0..active`, from the run's
+/// request records.
+fn per_node(res: &RunResult, active: usize) -> Vec<usize> {
+    (0..active)
         .map(|i| {
             res.records
                 .iter()
@@ -74,15 +86,22 @@ fn per_node(res: &RunResult) -> Vec<usize> {
         .collect()
 }
 
-fn conformance<A, F>(build: F)
+/// Quota-parity conformance for one protocol family.  `active` restricts
+/// the request-issuing nodes (coordinator-based algorithms keep their
+/// coordinator passive); the fleet may be larger.
+fn conformance<A, F>(build: F, active: Option<usize>)
 where
     A: Allocator + Send + 'static,
     F: Fn() -> Vec<A>,
 {
+    let n_total = build().len();
+    let n_active = active.unwrap_or(n_total);
+
     // Substrate 1: the synchronous virtual network (no clock — the quota
     // lives in the exercise config).  `run_random_workload` asserts full
     // completion, and the per-node quota caps each node at ROUNDS, so
-    // completing N × ROUNDS total *is* the per-node vector [ROUNDS; N].
+    // completing n_active × ROUNDS total *is* the per-node vector
+    // [ROUNDS; n_active].
     let mut net = VirtualNet::new(build(), M);
     net.install_faults(&FaultPlan::new(SEED)); // the fault-free plan
     let mut rng = StdRng::seed_from_u64(SEED);
@@ -93,19 +112,19 @@ where
             max_req_size: 3,
             m: M,
             hold_steps: 2,
-            active_nodes: None,
+            active_nodes: active,
             step_cap: 2_000_000,
         },
         &mut rng,
     );
-    assert_eq!(vnet_rep.cs_completed as usize, N * ROUNDS);
+    assert_eq!(vnet_rep.cs_completed as usize, n_active * ROUNDS);
     net.monitor.assert_conservation();
-    let vnet_counts = vec![ROUNDS; N];
+    let vnet_counts = vec![ROUNDS; n_active];
 
     // Substrate 2: the discrete-event simulator, paper LAN latency,
     // fault-free plan installed (it must change nothing).
     let sim_counts = {
-        let workloads: Vec<QuotaWorkload> = (0..N)
+        let workloads: Vec<QuotaWorkload> = (0..n_total)
             .map(|_| QuotaWorkload {
                 left: ROUNDS,
                 inner: fixed(),
@@ -117,14 +136,14 @@ where
             warmup: Time::ZERO,
             measure: Time::from_secs(60),
             drain: Time::from_secs(60),
-            active_nodes: None,
+            active_nodes: active,
             max_events: 200_000_000,
         };
         let mut sim = Sim::new(build(), workloads, M, cfg);
         sim.set_fault_plan(FaultPlan::new(SEED));
         let res = sim.run();
         assert_eq!(res.censored, 0, "simulator starved a quota request");
-        per_node(&res)
+        per_node(&res, n_active)
     };
 
     // Substrate 3: the mpsc threaded runtime (real concurrency, emulated
@@ -132,17 +151,17 @@ where
     let mpsc_counts = {
         let res = run_threaded(
             build(),
-            (0..N).map(|_| fixed()).collect::<Vec<_>>(),
+            (0..n_total).map(|_| fixed()).collect::<Vec<_>>(),
             M,
             ThreadedConfig {
                 rounds: ROUNDS,
                 latency: Time::from_micros(600),
                 seed: SEED,
-                active_nodes: None,
+                active_nodes: active,
             },
         );
         assert_eq!(res.censored, 0);
-        per_node(&res)
+        per_node(&res, n_active)
     };
 
     assert_eq!(
@@ -157,10 +176,88 @@ where
 
 #[test]
 fn lass_cs_entered_per_node_agrees_across_substrates() {
-    conformance(|| LassConfig::with_loan(N, M).build_nodes());
+    conformance(|| LassConfig::with_loan(N, M).build_nodes(), None);
+}
+
+#[test]
+fn lass_noloan_cs_entered_per_node_agrees_across_substrates() {
+    conformance(|| LassConfig::without_loan(N, M).build_nodes(), None);
 }
 
 #[test]
 fn bouabdallah_laforest_cs_entered_per_node_agrees_across_substrates() {
-    conformance(|| BouabdallahLaforest::build_nodes(N, M));
+    conformance(|| BouabdallahLaforest::build_nodes(N, M), None);
+}
+
+#[test]
+fn incremental_cs_entered_per_node_agrees_across_substrates() {
+    conformance(|| Incremental::build_nodes(N, M), None);
+}
+
+#[test]
+fn maddi_cs_entered_per_node_agrees_across_substrates() {
+    conformance(|| Maddi::build_nodes(N, M), None);
+}
+
+#[test]
+fn central_cs_entered_per_node_agrees_across_substrates() {
+    // `build_nodes(N)` appends one passive coordinator node (id N).
+    conformance(
+        || Central::build_nodes(N, GrantPolicy::Conservative),
+        Some(N),
+    );
+}
+
+/// One liveness-under-loss run of one protocol family: 20% seeded drop,
+/// reliable session layer on.  The harness itself asserts full completion
+/// (the plan is recoverable, so liveness is owed), zero post-quiesce
+/// resource leaks via `SafetyMonitor::assert_conservation`, and the
+/// re-armed deadlock panic.
+fn survives_loss<A: Allocator>(nodes: Vec<A>, active: Option<usize>, seed: u64, fault_seed: u64) {
+    eprintln!("survives_loss: algo={} seed={seed} fault_seed={fault_seed}", nodes[0].name());
+    let n_active = active.unwrap_or(nodes.len());
+    let mut net = VirtualNet::new(nodes, M);
+    net.install_faults(&FaultPlan::new(fault_seed).drop_rate(0.20));
+    net.enable_reliability(Reliability::default());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rep = run_faulty_workload(
+        &mut net,
+        &ExerciseCfg {
+            rounds_per_node: 3,
+            max_req_size: 3,
+            m: M,
+            hold_steps: 2,
+            active_nodes: active,
+            step_cap: 2_000_000,
+        },
+        &mut rng,
+    );
+    assert_eq!(rep.cs_completed as usize, 3 * n_active);
+    assert!(rep.starved.is_empty(), "starved under reliability: {:?}", rep.starved);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The PR 5 headline invariant: all six algorithms complete the
+    /// standard workload at 20% sustained drop rate once the reliable
+    /// session layer restores the paper's channel model — liveness under
+    /// any plan with drop rate < 1.0, not just under non-lossy plans.
+    #[test]
+    fn all_six_algorithms_survive_20pct_loss_with_reliability(
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        survives_loss(Incremental::build_nodes(N, M), None, seed, fault_seed);
+        survives_loss(BouabdallahLaforest::build_nodes(N, M), None, seed, fault_seed);
+        survives_loss(LassConfig::without_loan(N, M).build_nodes(), None, seed, fault_seed);
+        survives_loss(LassConfig::with_loan(N, M).build_nodes(), None, seed, fault_seed);
+        survives_loss(
+            Central::build_nodes(N, GrantPolicy::Conservative),
+            Some(N),
+            seed,
+            fault_seed,
+        );
+        survives_loss(Maddi::build_nodes(N, M), None, seed, fault_seed);
+    }
 }
