@@ -181,7 +181,7 @@ impl BouabdallahLaforest {
 
     /// Resource tokens currently held (diagnostics).
     pub fn held(&self) -> ResourceSet {
-        self.held
+        self.held.clone()
     }
 
     fn nt_send(ctx: &mut Ctx<BlMsg>, out: Vec<(NodeId, NtMsg<ControlToken>)>) {
@@ -380,7 +380,7 @@ mod tests {
         let mut nodes = BouabdallahLaforest::build_nodes(2, 3);
         let mut ctx = Ctx::new(0, 2);
         let set: ResourceSet = [1].into_iter().collect();
-        nodes[0].request(&mut ctx, set);
+        nodes[0].request(&mut ctx, set.clone());
         assert!(ctx.take_granted());
         nodes[0].release(&mut ctx);
         // Second request: entry says Last(0) and we still hold the token.
@@ -395,7 +395,7 @@ mod tests {
         let mut c1 = Ctx::new(1, 2);
         let set: ResourceSet = [0].into_iter().collect();
         // Node 0 takes resource 0 and stays in CS.
-        nodes[0].request(&mut c0, set);
+        nodes[0].request(&mut c0, set.clone());
         assert!(c0.take_granted());
         // Node 1 requests: needs the CT first.
         nodes[1].request(&mut c1, set);

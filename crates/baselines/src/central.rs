@@ -93,12 +93,12 @@ impl CentralSched {
     /// Scan the queue in arrival order and grant whatever the policy allows.
     fn try_grant(&mut self) -> Vec<NodeId> {
         let mut granted: Vec<NodeId> = Vec::new();
-        let mut claimed = self.in_use;
+        let mut claimed = self.in_use.clone();
         let mut remaining: VecDeque<(NodeId, ResourceSet)> = VecDeque::new();
         while let Some((node, set)) = self.pending.pop_front() {
             let blocker = match self.policy {
-                GrantPolicy::Conservative => claimed,
-                GrantPolicy::Greedy => self.in_use,
+                GrantPolicy::Conservative => claimed.clone(),
+                GrantPolicy::Greedy => self.in_use.clone(),
             };
             if set.is_disjoint(&blocker) {
                 self.in_use.union_with(&set);
@@ -116,7 +116,7 @@ impl CentralSched {
 
     /// Resources currently allocated.
     pub fn in_use(&self) -> ResourceSet {
-        self.in_use
+        self.in_use.clone()
     }
 
     /// Number of waiting requests.

@@ -10,7 +10,7 @@
 
 use mra_mutex::{NaimiTrehel, NtMsg};
 use mra_protocol::{Allocator, Ctx, ProcState, WireMsg};
-use mra_types::{NodeId, ResourceId, ResourceSet};
+use mra_types::{NodeId, ResTable, ResourceId, ResourceSet};
 use std::fmt;
 
 /// Wire message: a Naimi-Trehel message tagged with its resource instance.
@@ -42,10 +42,16 @@ impl WireMsg for IncMsg {
 }
 
 /// One node of the incremental algorithm.
+///
+/// The per-resource Naimi-Trehel instances live in a [`ResTable`]: dense at
+/// paper scale, lazily materialized above [`mra_types::DENSE_TABLE_MAX`]
+/// resources so a node only pays for instances it actually locks.
 #[derive(Clone)]
 pub struct Incremental {
+    me: NodeId,
+    elected: NodeId,
     state: ProcState,
-    insts: Vec<NaimiTrehel<()>>,
+    insts: ResTable<NaimiTrehel<()>>,
     required: ResourceSet,
     acquired: ResourceSet,
     /// The resource currently being waited for (always the smallest
@@ -57,20 +63,30 @@ impl Incremental {
     /// Create node `me` of an `n`-node, `m`-resource system; `elected`
     /// initially holds every token.
     pub fn new(me: NodeId, _n: usize, m: usize, elected: NodeId) -> Self {
-        let mut insts: Vec<NaimiTrehel<()>> =
-            (0..m).map(|_| NaimiTrehel::new(me, elected)).collect();
-        if me == elected {
-            for inst in &mut insts {
-                inst.give_initial_token(());
-            }
-        }
         Incremental {
+            me,
+            elected,
             state: ProcState::Idle,
-            insts,
+            insts: ResTable::new_with(m, |_| Self::mk_inst(me, elected)),
             required: ResourceSet::new(),
             acquired: ResourceSet::new(),
             awaiting: None,
         }
+    }
+
+    fn mk_inst(me: NodeId, elected: NodeId) -> NaimiTrehel<()> {
+        let mut inst = NaimiTrehel::new(me, elected);
+        if me == elected {
+            inst.give_initial_token(());
+        }
+        inst
+    }
+
+    /// The instance for `r`, materialized in its initial state on first
+    /// touch.
+    fn inst_mut(&mut self, r: ResourceId) -> &mut NaimiTrehel<()> {
+        let (me, elected) = (self.me, self.elected);
+        self.insts.get_or(r, |_| Self::mk_inst(me, elected))
     }
 
     /// Build all nodes of a system.
@@ -80,7 +96,7 @@ impl Incremental {
 
     /// Resources currently locked by this node (diagnostics).
     pub fn acquired(&self) -> ResourceSet {
-        self.acquired
+        self.acquired.clone()
     }
 
     /// Keep acquiring in ascending order until blocked or done.
@@ -88,7 +104,7 @@ impl Incremental {
         while let Some(r) = self.required.difference(&self.acquired).first() {
             self.awaiting = Some(r);
             let mut out: Vec<(NodeId, IncMsg)> = Vec::new();
-            let got = self.insts[r].request(&mut |to, inner| {
+            let got = self.inst_mut(r).request(&mut |to, inner| {
                 out.push((to, IncMsg { r, inner }));
             });
             for (to, m) in out {
@@ -115,7 +131,7 @@ impl Allocator for Incremental {
     fn on_message(&mut self, ctx: &mut Ctx<IncMsg>, _from: NodeId, msg: IncMsg) {
         let r = msg.r;
         let mut out: Vec<(NodeId, IncMsg)> = Vec::new();
-        let got = self.insts[r].on_message(msg.inner, &mut |to, inner| {
+        let got = self.inst_mut(r).on_message(msg.inner, &mut |to, inner| {
             out.push((to, IncMsg { r, inner }));
         });
         for (to, m) in out {
@@ -142,7 +158,7 @@ impl Allocator for Incremental {
         assert_eq!(self.state, ProcState::InCS, "release outside CS");
         for r in self.required.iter() {
             let mut out: Vec<(NodeId, IncMsg)> = Vec::new();
-            self.insts[r].release(&mut |to, inner| {
+            self.inst_mut(r).release(&mut |to, inner| {
                 out.push((to, IncMsg { r, inner }));
             });
             for (to, m) in out {

@@ -225,7 +225,7 @@ impl Allocator for Maddi {
         assert!(!resources.is_empty());
         self.clock += 1;
         self.my_ts = self.clock;
-        self.required = resources;
+        self.required = resources.clone();
         self.state = ProcState::WaitCS;
         let me = self.me;
         let ts = self.my_ts;
@@ -288,7 +288,7 @@ mod tests {
         let set = ResourceSet::singleton(0);
         // Node 1 and node 2 request concurrently, same clock values: the
         // node id breaks the tie, so node 1 must win.
-        nodes[1].request(&mut c1, set);
+        nodes[1].request(&mut c1, set.clone());
         nodes[2].request(&mut c2, set);
         // Deliver both broadcasts to node 0 (the idle holder).
         for (to, m) in c1.take_outbox() {

@@ -99,7 +99,7 @@ proptest! {
                                 in_use: &mut ResourceSet,
                                 requests: &std::collections::HashMap<usize, ResourceSet>| {
             for g in grants {
-                let set = requests[&g];
+                let set = requests[&g].clone();
                 //
 
                 assert!(in_use.is_disjoint(&set), "over-allocation");
@@ -118,7 +118,7 @@ proptest! {
                 apply_grants(grants, &mut busy, &mut queued, &mut in_use, &requests);
             } else if !queued[node] {
                 let set: ResourceSet = rs.into_iter().collect();
-                requests.insert(node, set);
+                requests.insert(node, set.clone());
                 queued[node] = true;
                 let grants = sched.request(node, set);
                 apply_grants(grants, &mut busy, &mut queued, &mut in_use, &requests);

@@ -7,14 +7,21 @@
 //! ROADMAP's perf trajectory has a recorded data point per commit that
 //! touches the hot path.
 //!
-//! Each measurement is a single-threaded `Sim::run` — `MRA_THREADS` is
-//! irrelevant here by construction, which is exactly what makes the number
-//! comparable across machines with different core counts.  `MRA_FAST=1`
-//! (CI) shrinks the simulated window; the metric is a *rate*, so shorter
-//! windows shift it only by warmup amortization.
+//! Each paper-shape measurement is a single-threaded `Sim::run` —
+//! `MRA_THREADS` is irrelevant here by construction, which is exactly what
+//! makes the number comparable across machines with different core counts.
+//! `MRA_FAST=1` (CI) shrinks the simulated window; the metric is a *rate*,
+//! so shorter windows shift it only by warmup amortization.
+//!
+//! `MRA_BENCH_BIG=1` additionally measures the scale-out shape (10 000
+//! nodes × 100 000 resources, [`Scenario::large`]) on 1 and 4 engine
+//! shards — the sharded conservative engine's headline numbers, with
+//! per-shard event counts in the JSON.  Off by default: each big run is
+//! several orders of magnitude more events than a paper-shape run.
 //!
 //! ```text
 //! cargo bench -p mra-bench --bench bench_engine
+//! MRA_BENCH_BIG=1 cargo bench -p mra-bench --bench bench_engine
 //! ```
 
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -55,6 +62,20 @@ const MIN_REPEATS: usize = 5;
 const MAX_REPEATS: usize = 200;
 const MIN_TOTAL_WALL_NS: u64 = 50_000_000; // 50 ms
 
+fn entry_from(label: &str, res: mra_sim::RunResult) -> EngineBenchEntry {
+    EngineBenchEntry {
+        scenario: label.to_string(),
+        algo: res.algo.clone(),
+        events: res.events_processed,
+        wall_ns: res.wall_ns,
+        wall_secs: res.wall_ns as f64 / 1e9,
+        events_per_sec: res.events_per_sec(),
+        cs_completed: res.cs_completed,
+        shards: res.shards,
+        shard_events: res.shard_events.clone(),
+    }
+}
+
 fn measure(algo: Algorithm, phi: usize, label: &str, secs: f64) -> EngineBenchEntry {
     let mut best: Option<mra_sim::RunResult> = None;
     let mut total_wall_ns = 0u64;
@@ -73,14 +94,37 @@ fn measure(algo: Algorithm, phi: usize, label: &str, secs: f64) -> EngineBenchEn
         }
     }
     let res = best.expect("at least one repeat");
-    EngineBenchEntry {
-        scenario: label.to_string(),
-        algo: res.algo.clone(),
-        events: res.events_processed,
-        wall_secs: res.wall_ns as f64 / 1e9,
-        events_per_sec: res.events_per_sec(),
-        cs_completed: res.cs_completed,
-    }
+    entry_from(label, res)
+}
+
+/// The scale-out grid (`MRA_BENCH_BIG=1`): [`Scenario::large`] at the
+/// acceptance shape, LASS ± loan and Incremental, sequential vs 4 shards.
+/// The sharded entries' per-shard event counts land in the JSON, so the
+/// trajectory records both the aggregate rate and the load balance.
+const BIG_N: usize = 10_000;
+const BIG_M: usize = 100_000;
+
+fn big_points() -> Vec<(Algorithm, usize, &'static str)> {
+    vec![
+        (Algorithm::LassLoan, 1, "lass_loan_10kn100km_phi4_med_k1"),
+        (Algorithm::LassLoan, 4, "lass_loan_10kn100km_phi4_med_k4"),
+        (Algorithm::LassNoLoan, 1, "lass_noloan_10kn100km_phi4_med_k1"),
+        (Algorithm::LassNoLoan, 4, "lass_noloan_10kn100km_phi4_med_k4"),
+        (Algorithm::Incremental, 1, "incremental_10kn100km_phi4_med_k1"),
+        (Algorithm::Incremental, 4, "incremental_10kn100km_phi4_med_k4"),
+    ]
+}
+
+/// One recorded repeat per big point: a single run is already tens of
+/// millions of events — min-of-two is enough to shed a cold-cache outlier
+/// without doubling a multi-minute pass.
+fn measure_big(algo: Algorithm, shards: usize, label: &str) -> EngineBenchEntry {
+    let mut sc = Scenario::large(BIG_N, BIG_M, 42);
+    sc.shards = Some(shards);
+    let a = run(algo, &sc);
+    let b = run(algo, &sc);
+    let res = if b.wall_ns < a.wall_ns { b } else { a };
+    entry_from(label, res)
 }
 
 fn bench_engine(c: &mut Criterion) {
@@ -89,16 +133,29 @@ fn bench_engine(c: &mut Criterion) {
     // One recorded pass per point for the tracked JSON (sequential, so
     // measurements never contend for cores), then Criterion timings of the
     // same scenarios for local ns/iter comparisons.
-    let entries: Vec<EngineBenchEntry> = points()
+    let mut entries: Vec<EngineBenchEntry> = points()
         .iter()
         .map(|&(algo, phi, label)| measure(algo, phi, label, secs))
         .collect();
 
-    println!("engine throughput ({secs}s simulated window per run):");
+    let big = std::env::var("MRA_BENCH_BIG").is_ok_and(|v| !v.is_empty() && v != "0");
+    if big {
+        println!("scale-out grid ({BIG_N} nodes, {BIG_M} resources) — this takes a while:");
+        for (algo, shards, label) in big_points() {
+            let e = measure_big(algo, shards, label);
+            println!(
+                "  {:<36} {:>12.0} events/s on {} shard(s)",
+                e.scenario, e.events_per_sec, e.shards
+            );
+            entries.push(e);
+        }
+    }
+
+    println!("engine throughput ({secs}s simulated window per paper-shape run):");
     for e in &entries {
         println!(
-            "  {:<32} {:>12.0} events/s  ({} events, {} cs, {:.3}s wall)",
-            e.scenario, e.events_per_sec, e.events, e.cs_completed, e.wall_secs
+            "  {:<36} {:>12.0} events/s  ({} events, {} cs, {:.3}s wall, k={})",
+            e.scenario, e.events_per_sec, e.events, e.cs_completed, e.wall_secs, e.shards
         );
     }
     // Criterion's `--test` smoke mode (what `cargo test --benches` passes)

@@ -6,13 +6,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mra_core::{LassConfig, ResReq, Token};
 use mra_protocol::testkit::{run_random_workload, ExerciseCfg, VirtualNet};
 use mra_sim::{FixedWorkload, Sim, SimConfig};
-use mra_types::{BitSet256, Time};
+use mra_types::{ResourceSet, Time};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn bench_bitset(c: &mut Criterion) {
-    let a: BitSet256 = (0..80).step_by(2).collect();
-    let b: BitSet256 = (0..80).step_by(3).collect();
+    let a: ResourceSet = (0..80).step_by(2).collect();
+    let b: ResourceSet = (0..80).step_by(3).collect();
     c.bench_function("bitset/union+count", |bch| {
         bch.iter(|| std::hint::black_box(a.union(&b).len()))
     });
@@ -22,12 +22,18 @@ fn bench_bitset(c: &mut Criterion) {
     c.bench_function("bitset/iterate80", |bch| {
         bch.iter(|| std::hint::black_box(a.iter().sum::<usize>()))
     });
+    // The heap representation past the 256-element inline boundary.
+    let big_a: ResourceSet = (0..100_000).step_by(17).collect();
+    let big_b: ResourceSet = (0..100_000).step_by(23).collect();
+    c.bench_function("bitset/union+count_100k", |bch| {
+        bch.iter(|| std::hint::black_box(big_a.union(&big_b).len()))
+    });
 }
 
 fn bench_token_queue(c: &mut Criterion) {
     c.bench_function("token/enqueue32_dequeue32", |b| {
         b.iter(|| {
-            let mut t = Token::new(0, 32);
+            let mut t = Token::new(0);
             for s in 0..32 {
                 t.enqueue_res(ResReq {
                     r: 0,

@@ -45,12 +45,21 @@ pub struct EngineBenchEntry {
     pub algo: String,
     /// Simulator events processed.
     pub events: u64,
-    /// Wall-clock seconds of the run.
+    /// Wall-clock nanoseconds of the run — the exact number the rate is
+    /// derived from (`events_per_sec = events / wall_ns × 1e9`), so the
+    /// tracked file is self-consistent to the nanosecond.
+    pub wall_ns: u64,
+    /// Wall-clock seconds of the run (redundant with `wall_ns`; kept for
+    /// human eyes).
     pub wall_secs: f64,
     /// The tracked metric: events per wall-clock second.
     pub events_per_sec: f64,
     /// Critical sections completed (sanity that the run did real work).
     pub cs_completed: u64,
+    /// Engine shards the run executed on (1 = sequential path).
+    pub shards: usize,
+    /// Events processed per shard; sums to `events`.
+    pub shard_events: Vec<u64>,
 }
 
 /// Serialize `entries` as `BENCH_engine.json` at the repo root (the
@@ -81,15 +90,25 @@ pub fn write_bench_engine_json(
     out.push_str(&format!("  \"mode\": \"{}\",\n", esc(mode)));
     out.push_str("  \"results\": [\n");
     for (i, e) in entries.iter().enumerate() {
+        let shard_events = e
+            .shard_events
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
         out.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"algo\": \"{}\", \"events\": {}, \
-             \"wall_secs\": {}, \"events_per_sec\": {}, \"cs_completed\": {}}}{}\n",
+             \"wall_ns\": {}, \"wall_secs\": {}, \"events_per_sec\": {}, \
+             \"cs_completed\": {}, \"shards\": {}, \"shard_events\": [{}]}}{}\n",
             esc(&e.scenario),
             esc(&e.algo),
             e.events,
+            e.wall_ns,
             num(e.wall_secs, 4),
             num(e.events_per_sec, 1),
             e.cs_completed,
+            e.shards,
+            shard_events,
             if i + 1 < entries.len() { "," } else { "" },
         ));
     }

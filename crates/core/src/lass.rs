@@ -33,7 +33,7 @@ use crate::messages::{CounterVal, LassMsg, LoanReq, Request, ResReq};
 use crate::policy::{precedes, SchedulingPolicy};
 use crate::token::Token;
 use mra_protocol::{Allocator, Ctx, ProcState};
-use mra_types::{NodeId, NodeSet, RequestId, ResourceId, ResourceSet};
+use mra_types::{NodeId, NodeSet, RequestId, ResTable, ResourceId, ResourceSet};
 
 /// Static configuration of a LASS system (identical on every node).
 #[derive(Clone, Copy, Debug)]
@@ -107,19 +107,28 @@ pub struct LassStats {
 }
 
 /// One site's LASS state (annex A figure 9).
+///
+/// All per-resource tables are [`ResTable`]s: dense vectors at paper scale
+/// (M ≤ 4096), lazily materialized maps above — a node only pays for the
+/// resources it actually touches, which is what lets 10k nodes each face
+/// 100k resources.  Absent entries mean "initial value": the father pointer
+/// is the elected site, the token snapshot is fresh, the pending history is
+/// empty.
 #[derive(Clone)]
 pub struct Lass {
     cfg: LassConfig,
     me: NodeId,
     state: ProcState,
     /// Father pointer per resource tree; `None` iff this site holds the
-    /// token (is the tree root).
-    tok_dir: Vec<Option<NodeId>>,
-    /// Counter vector of the current request (zeros = not required).
-    my_vector: Vec<u64>,
+    /// token (is the tree root).  Absent entry = initial pointer (elected
+    /// site, or root for the elected site itself).
+    tok_dir: ResTable<Option<NodeId>>,
+    /// Counter vector of the current request: sparse `(resource, value)`
+    /// pairs sorted by resource, nonzero values only (zero = not required).
+    my_vector: Vec<(ResourceId, u64)>,
     /// Last known snapshot of each token; authoritative only for owned
-    /// tokens.
-    last_tok: Vec<Token>,
+    /// tokens.  Absent entry = fresh token (`Token::new`).
+    last_tok: ResTable<Token>,
     /// Resources of the current request.
     t_required: ResourceSet,
     /// Owned tokens.
@@ -130,7 +139,7 @@ pub struct Lass {
     cur_id: RequestId,
     /// Per-resource history of forwarded requests, replayed on token
     /// receipt (§4.2.1).
-    pending: Vec<Vec<Request>>,
+    pending: ResTable<Vec<Request>>,
     /// Resources currently lent out (as lender).
     t_lent: ResourceSet,
     /// Has a loan been requested for the current request?
@@ -151,14 +160,13 @@ impl Lass {
         assert!(me < cfg.n);
         assert!(cfg.m >= 1);
         let is_elected = me == cfg.elected;
+        let initial_father = if is_elected { None } else { Some(cfg.elected) };
         Lass {
             me,
             state: ProcState::Idle,
-            tok_dir: (0..cfg.m)
-                .map(|_| if is_elected { None } else { Some(cfg.elected) })
-                .collect(),
-            my_vector: vec![0; cfg.m],
-            last_tok: (0..cfg.m).map(|r| Token::new(r, cfg.n)).collect(),
+            tok_dir: ResTable::new_with(cfg.m, |_| initial_father),
+            my_vector: Vec::new(),
+            last_tok: ResTable::new_with(cfg.m, Token::new),
             t_required: ResourceSet::new(),
             t_owned: if is_elected {
                 ResourceSet::full(cfg.m)
@@ -167,7 +175,7 @@ impl Lass {
             },
             cnt_needed: ResourceSet::new(),
             cur_id: 0,
-            pending: (0..cfg.m).map(|_| Vec::new()).collect(),
+            pending: ResTable::new_with(cfg.m, |_| Vec::new()),
             t_lent: ResourceSet::new(),
             loan_asked: false,
             borrowed_in_cs: false,
@@ -185,27 +193,34 @@ impl Lass {
 
     /// Set of tokens currently owned.
     pub fn owned(&self) -> ResourceSet {
-        self.t_owned
+        self.t_owned.clone()
     }
 
     /// Set of resources currently lent out.
     pub fn lent(&self) -> ResourceSet {
-        self.t_lent
+        self.t_lent.clone()
     }
 
     /// Resources of the outstanding request.
     pub fn required(&self) -> ResourceSet {
-        self.t_required
+        self.t_required.clone()
     }
 
     /// Father pointer of resource `r`'s tree (`None` = this site is root).
     pub fn father(&self, r: ResourceId) -> Option<NodeId> {
-        self.tok_dir[r]
+        match self.tok_dir.get(r) {
+            Some(f) => *f,
+            None => self.initial_father(),
+        }
     }
 
-    /// The token snapshot for `r` (authoritative iff owned).
-    pub fn token(&self, r: ResourceId) -> &Token {
-        &self.last_tok[r]
+    /// The token snapshot for `r` (authoritative iff owned).  Untouched
+    /// resources yield a fresh token; diagnostics only — clones.
+    pub fn token(&self, r: ResourceId) -> Token {
+        match self.last_tok.get(r) {
+            Some(t) => t.clone(),
+            None => Token::new(r),
+        }
     }
 
     /// Current request id.
@@ -213,14 +228,54 @@ impl Lass {
         self.cur_id
     }
 
-    /// The counter vector of the current request.
-    pub fn vector(&self) -> &[u64] {
-        &self.my_vector
+    /// The counter vector of the current request, densified (diagnostics
+    /// only — allocates `m` entries).
+    pub fn vector(&self) -> Vec<u64> {
+        let mut v = vec![0; self.cfg.m];
+        for &(r, val) in &self.my_vector {
+            v[r] = val;
+        }
+        v
     }
 
     /// The scheduling mark `A(MyVector)` of the current request.
     pub fn mark(&self) -> f64 {
-        self.cfg.policy.mark(&self.my_vector)
+        self.cfg.policy.mark_sparse(self.my_vector.iter().map(|&(_, v)| v))
+    }
+
+    // ------------------------------------------------------------------
+    // Sparse-table plumbing
+    // ------------------------------------------------------------------
+
+    fn initial_father(&self) -> Option<NodeId> {
+        if self.me == self.cfg.elected {
+            None
+        } else {
+            Some(self.cfg.elected)
+        }
+    }
+
+    fn set_father(&mut self, r: ResourceId, f: Option<NodeId>) {
+        self.tok_dir.set(r, f);
+    }
+
+    /// Mutable token snapshot, materializing a fresh token on first touch.
+    fn tok_mut(&mut self, r: ResourceId) -> &mut Token {
+        self.last_tok.get_or(r, Token::new)
+    }
+
+    /// Is `req` obsolete w.r.t. the snapshot of `r`?  An untouched token
+    /// has all-zero stamps, so nothing is obsolete against it.
+    fn tok_obsolete(&self, r: ResourceId, req: &Request) -> bool {
+        self.last_tok.get(r).is_some_and(|t| t.obsolete(req))
+    }
+
+    /// `MyVector[r] = v` on the sparse pair vector.
+    fn set_vector(&mut self, r: ResourceId, v: u64) {
+        match self.my_vector.binary_search_by_key(&r, |&(rr, _)| rr) {
+            Ok(i) => self.my_vector[i].1 = v,
+            Err(i) => self.my_vector.insert(i, (r, v)),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -250,7 +305,7 @@ impl Lass {
                 .filter(|(dd, _)| *dd == d)
                 .map(|(_, q)| q.clone())
                 .collect();
-            send(d, LassMsg::Requests { visited, reqs });
+            send(d, LassMsg::Requests { visited: visited.clone(), reqs });
         }
     }
 
@@ -308,9 +363,9 @@ impl Lass {
     fn send_token(&mut self, r: ResourceId, dest: NodeId) {
         debug_assert!(self.t_owned.contains(r), "sending unowned token {r}");
         debug_assert_ne!(dest, self.me, "token self-send");
-        let snapshot = self.last_tok[r].clone();
+        let snapshot = self.tok_mut(r).clone();
         self.buf_tok.push((dest, snapshot));
-        self.tok_dir[r] = Some(dest);
+        self.set_father(r, Some(dest));
         self.t_owned.remove(r);
     }
 
@@ -320,7 +375,7 @@ impl Lass {
         self.borrowed_in_cs = self
             .t_required
             .iter()
-            .any(|r| self.last_tok[r].lender.is_some());
+            .any(|r| self.last_tok.get(r).is_some_and(|t| t.lender.is_some()));
         if self.borrowed_in_cs {
             self.stats.loans_used += 1;
         }
@@ -331,13 +386,13 @@ impl Lass {
     /// Reserve the counter of an owned token for the current request.
     fn take_counter_locally(&mut self, r: ResourceId) {
         debug_assert!(self.t_owned.contains(r));
-        let v = self.last_tok[r].take_counter();
-        self.my_vector[r] = v;
+        let v = self.tok_mut(r).take_counter();
+        self.set_vector(r, v);
         // [deviation 2] record the served counter request so a wandering
         // duplicate ReqCnt of ours becomes obsolete.
         let me = self.me;
         let id = self.cur_id;
-        self.last_tok[r].last_req_c[me] = id;
+        self.tok_mut(r).set_last_req_c(me, id);
     }
 
     // ------------------------------------------------------------------
@@ -353,7 +408,7 @@ impl Lass {
         let mark = self.mark();
         for r in self.t_required.iter() {
             if !self.t_owned.contains(r) {
-                let father = self.tok_dir[r].expect("non-owner has a father");
+                let father = self.father(r).expect("non-owner has a father");
                 self.buffer_request(
                     father,
                     Request::Res(ResReq {
@@ -379,7 +434,7 @@ impl Lass {
         if self
             .t_owned
             .iter()
-            .any(|r| self.last_tok[r].lender.is_some())
+            .any(|r| self.last_tok.get(r).is_some_and(|t| t.lender.is_some()))
         {
             return false;
         }
@@ -404,7 +459,7 @@ impl Lass {
 
     fn process_req_loan(&mut self, req: LoanReq) {
         debug_assert!(self.t_owned.contains(req.r));
-        if self.last_tok[req.r].obsolete(&Request::Loan(req.clone())) {
+        if self.tok_obsolete(req.r, &Request::Loan(req.clone())) {
             return;
         }
         if req.sinit == self.me {
@@ -413,25 +468,25 @@ impl Lass {
             return;
         }
         if self.can_lend(&req) {
-            self.t_lent = req.missing;
+            self.t_lent = req.missing.clone();
             self.stats.loans_granted += 1;
             let me = self.me;
             for r2 in req.missing.iter() {
                 debug_assert!(self.t_owned.contains(r2));
-                self.last_tok[r2].lender = Some(me);
+                self.tok_mut(r2).lender = Some(me);
                 // The borrower's queued ReqRes is satisfied by the loan
                 // (annex A line 201).
-                self.last_tok[r2].remove_site(req.sinit);
+                self.tok_mut(r2).remove_site(req.sinit);
                 self.send_token(r2, req.sinit);
             }
         } else {
             let r = req.r;
             if !self.t_required.contains(r) || self.state == ProcState::WaitS {
                 // Not a possible loan, but the token itself is free to go.
-                self.last_tok[r].remove_site(req.sinit);
+                self.tok_mut(r).remove_site(req.sinit);
                 self.send_token(r, req.sinit);
             } else {
-                self.last_tok[r].enqueue_loan(req);
+                self.tok_mut(r).enqueue_loan(req);
             }
         }
     }
@@ -448,15 +503,15 @@ impl Lass {
             // not "borrowed from ourselves".
             t.lender = None;
         }
-        self.last_tok[r] = t;
+        self.last_tok.set(r, t);
         self.t_owned.insert(r);
-        self.tok_dir[r] = None;
+        self.set_father(r, None);
         self.t_lent.remove(r);
         // [guard] our own queued request (left behind when we yielded this
         // token earlier) is satisfied by ownership; purge it so it can never
         // be "granted" back to ourselves.
         let me = self.me;
-        self.last_tok[r].remove_site(me);
+        self.tok_mut(r).remove_site(me);
         if self.cnt_needed.contains(r) {
             self.cnt_needed.remove(r);
             self.take_counter_locally(r);
@@ -464,10 +519,10 @@ impl Lass {
         // Replay the pending history for r (§4.2.1): requests we forwarded
         // may never have reached the holder; now that the token is here, we
         // are the holder.
-        let history = std::mem::take(&mut self.pending[r]);
+        let history = self.pending.get_mut(r).map(std::mem::take).unwrap_or_default();
         let mut keep: Vec<Request> = Vec::new();
         for req in history {
-            if self.last_tok[r].obsolete(&req) {
+            if self.tok_obsolete(r, &req) {
                 continue; // retired for good
             }
             if req.sinit() == self.me {
@@ -482,8 +537,8 @@ impl Lass {
                     id,
                     ..
                 } => {
-                    self.last_tok[r].last_req_c[sinit] = id;
-                    let val = self.last_tok[r].take_counter();
+                    self.tok_mut(r).set_last_req_c(sinit, id);
+                    let val = self.tok_mut(r).take_counter();
                     self.buf_cnt.push((sinit, CounterVal { r, val, id }));
                 }
                 Request::Cnt {
@@ -493,26 +548,28 @@ impl Lass {
                     ..
                 } => {
                     let rr = self.convert_single(r, sinit, id);
-                    self.last_tok[r].enqueue_res(rr);
+                    self.tok_mut(r).enqueue_res(rr);
                 }
                 Request::Res(rr) => {
-                    self.last_tok[r].enqueue_res(rr.clone());
+                    self.tok_mut(r).enqueue_res(rr.clone());
                     keep.push(Request::Res(rr));
                 }
                 Request::Loan(lr) => {
-                    self.last_tok[r].enqueue_loan(lr.clone());
+                    self.tok_mut(r).enqueue_loan(lr.clone());
                     keep.push(Request::Loan(lr));
                 }
             }
         }
-        self.pending[r] = keep;
+        if !keep.is_empty() {
+            self.pending.set(r, keep);
+        }
     }
 
     /// §4.6.1: the holder turns a single-resource `ReqCnt` into a `ReqRes`,
     /// computing the mark itself from the counter value it assigns.
     fn convert_single(&mut self, r: ResourceId, sinit: NodeId, id: RequestId) -> ResReq {
-        let val = self.last_tok[r].take_counter();
-        self.last_tok[r].last_req_c[sinit] = id;
+        let val = self.tok_mut(r).take_counter();
+        self.tok_mut(r).set_last_req_c(sinit, id);
         ResReq {
             r,
             sinit,
@@ -529,7 +586,7 @@ impl Lass {
         for req in reqs {
             let r = req.r();
             let sinit = req.sinit();
-            if self.last_tok[r].obsolete(&req) {
+            if self.tok_obsolete(r, &req) {
                 continue;
             }
             if self.t_owned.contains(r) {
@@ -556,8 +613,8 @@ impl Lass {
                         } = *q
                         {
                             // Plain counter request: reply with the value.
-                            self.last_tok[r].last_req_c[sinit] = id;
-                            let val = self.last_tok[r].take_counter();
+                            self.tok_mut(r).set_last_req_c(sinit, id);
+                            let val = self.tok_mut(r).take_counter();
                             self.buf_cnt.push((sinit, CounterVal { r, val, id }));
                         } else {
                             // ReqRes (or converted single): conflict.
@@ -573,7 +630,7 @@ impl Lass {
                     }
                 }
             } else {
-                let father = self.tok_dir[r].expect("non-owner has a father");
+                let father = self.father(r).expect("non-owner has a father");
                 // §4.6.2 stop-forwarding: we are certain to receive the
                 // token before the requester, so park the request here.
                 if self.cfg.opt_stop_forwarding {
@@ -605,14 +662,13 @@ impl Lass {
     fn push_pending(&mut self, r: ResourceId, req: Request) {
         // One live entry per (site, kind) is enough: ids only grow.
         let key = (req.sinit(), std::mem::discriminant(&req));
-        self.pending[r]
-            .retain(|q| (q.sinit(), std::mem::discriminant(q)) != key || q.id() >= req.id());
-        if !self
-            .pending[r]
+        let hist = self.pending.get_or(r, |_| Vec::new());
+        hist.retain(|q| (q.sinit(), std::mem::discriminant(q)) != key || q.id() >= req.id());
+        if !hist
             .iter()
             .any(|q| (q.sinit(), std::mem::discriminant(q)) == key && q.id() >= req.id())
         {
-            self.pending[r].push(req);
+            hist.push(req);
         }
     }
 
@@ -620,7 +676,11 @@ impl Lass {
     /// lines 176–184): yield to strictly higher priority, queue otherwise.
     fn resolve_conflict(&mut self, rr: ResReq) {
         let r = rr.r;
-        if self.last_tok[r].queue_contains(rr.sinit, rr.id) {
+        if self
+            .last_tok
+            .get(r)
+            .is_some_and(|t| t.queue_contains(rr.sinit, rr.id))
+        {
             return;
         }
         let my_mark = self.mark();
@@ -635,12 +695,12 @@ impl Lass {
                 id: self.cur_id,
                 mark: my_mark,
             };
-            self.last_tok[r].enqueue_res(mine);
+            self.tok_mut(r).enqueue_res(mine);
             self.stats.yields += 1;
             self.send_token(r, rr.sinit);
         } else {
             // (waitCS ∧ we precede) ∨ inCS: the request waits.
-            self.last_tok[r].enqueue_res(rr);
+            self.tok_mut(r).enqueue_res(rr);
         }
     }
 
@@ -655,12 +715,12 @@ impl Lass {
             if c.id != self.cur_id || !self.cnt_needed.contains(c.r) {
                 continue;
             }
-            self.my_vector[c.r] = c.val;
+            self.set_vector(c.r, c.val);
             self.cnt_needed.remove(c.r);
             if self.cfg.opt_shortcut_on_counter {
                 // Path shortcut: the replier held the token just now.
                 debug_assert!(!self.t_owned.contains(c.r));
-                self.tok_dir[c.r] = Some(from);
+                self.set_father(c.r, Some(from));
             }
         }
         if self.state == ProcState::WaitS && self.cnt_needed.is_empty() {
@@ -686,10 +746,10 @@ impl Lass {
             // 217-223).
             let mut returned = false;
             for r in self.t_owned.iter().collect::<Vec<_>>() {
-                if let Some(lender) = self.last_tok[r].lender {
+                if let Some(lender) = self.last_tok.get(r).and_then(|t| t.lender) {
                     debug_assert_ne!(lender, self.me);
                     // [deviation 3] clear the loan marker on return.
-                    self.last_tok[r].lender = None;
+                    self.tok_mut(r).lender = None;
                     // [deviation 8] the lender removed our ReqRes from the
                     // queue when it granted the loan (annex A line 201); as
                     // the loan failed, our request must be re-queued or it
@@ -702,7 +762,7 @@ impl Lass {
                             id: self.cur_id,
                             mark: self.mark(),
                         };
-                        self.last_tok[r].enqueue_res(mine);
+                        self.tok_mut(r).enqueue_res(mine);
                     }
                     self.send_token(r, lender);
                     returned = true;
@@ -734,7 +794,7 @@ impl Lass {
             if !self.t_owned.contains(r) {
                 continue; // handed away by a previous iteration's loan
             }
-            let Some(head) = self.last_tok[r].head().cloned() else {
+            let Some(head) = self.last_tok.get(r).and_then(|t| t.head().cloned()) else {
                 continue;
             };
             debug_assert_ne!(head.sinit, self.me, "own request queued in own token");
@@ -755,7 +815,7 @@ impl Lass {
                 ProcState::InCS => unreachable!("rescheduling while in CS"),
             };
             if yield_now {
-                self.last_tok[r].dequeue();
+                self.tok_mut(r).dequeue();
                 if self.state == ProcState::WaitCS && self.t_required.contains(r) {
                     let mine = ResReq {
                         r,
@@ -763,7 +823,7 @@ impl Lass {
                         id: self.cur_id,
                         mark: my_mark,
                     };
-                    self.last_tok[r].enqueue_res(mine);
+                    self.tok_mut(r).enqueue_res(mine);
                     self.stats.yields += 1;
                 }
                 self.send_token(r, head.sinit);
@@ -774,10 +834,16 @@ impl Lass {
     /// Annex A lines 241–247: retry queued loan requests of owned tokens.
     fn retry_pending_loans(&mut self) {
         for r in self.t_owned.iter().collect::<Vec<_>>() {
-            if !self.t_owned.contains(r) || self.last_tok[r].w_loan.is_empty() {
+            if !self.t_owned.contains(r) {
                 continue;
             }
-            let queued = std::mem::take(&mut self.last_tok[r].w_loan);
+            let Some(tok) = self.last_tok.get_mut(r) else {
+                continue; // untouched token: nothing queued
+            };
+            if tok.w_loan.is_empty() {
+                continue;
+            }
+            let queued = std::mem::take(&mut tok.w_loan);
             for lr in queued {
                 if self.t_owned.contains(lr.r) {
                     self.process_req_loan(lr);
@@ -806,7 +872,7 @@ impl Lass {
         self.stats.loans_requested += 1;
         let mark = self.mark();
         for r in missing.iter() {
-            let father = self.tok_dir[r].expect("missing resource has a father");
+            let father = self.father(r).expect("missing resource has a father");
             self.buffer_request(
                 father,
                 Request::Loan(LoanReq {
@@ -814,7 +880,7 @@ impl Lass {
                     sinit: self.me,
                     id: self.cur_id,
                     mark,
-                    missing,
+                    missing: missing.clone(),
                 }),
             );
         }
@@ -840,7 +906,7 @@ impl Allocator for Lass {
         assert!(!resources.is_empty(), "empty request");
         debug_assert!(resources.iter().all(|r| r < self.cfg.m));
         self.cur_id += 1;
-        self.t_required = resources;
+        self.t_required = resources.clone();
         self.cnt_needed.clear();
         self.loan_asked = false;
 
@@ -853,7 +919,7 @@ impl Allocator for Lass {
                 self.state = ProcState::WaitCS;
                 // processUpdate reserves the counter on token arrival.
                 self.cnt_needed.insert(r);
-                let father = self.tok_dir[r].expect("non-owner has a father");
+                let father = self.father(r).expect("non-owner has a father");
                 self.buffer_request(
                     father,
                     Request::Cnt {
@@ -874,7 +940,7 @@ impl Allocator for Lass {
                 self.take_counter_locally(r);
             } else {
                 self.cnt_needed.insert(r);
-                let father = self.tok_dir[r].expect("non-owner has a father");
+                let father = self.father(r).expect("non-owner has a father");
                 self.buffer_request(
                     father,
                     Request::Cnt {
@@ -905,10 +971,10 @@ impl Allocator for Lass {
         let id = self.cur_id;
         for r in self.t_required.iter().collect::<Vec<_>>() {
             debug_assert!(self.t_owned.contains(r));
-            self.last_tok[r].last_cs[me] = id;
-            match self.last_tok[r].lender {
+            self.tok_mut(r).set_last_cs(me, id);
+            match self.tok_mut(r).lender {
                 None => {
-                    if let Some(next) = self.last_tok[r].dequeue() {
+                    if let Some(next) = self.tok_mut(r).dequeue() {
                         self.send_token(r, next.sinit);
                     }
                 }
@@ -917,8 +983,8 @@ impl Allocator for Lass {
                     // any queued request of the lender itself (annex A
                     // line 96).
                     debug_assert_ne!(lender, me);
-                    self.last_tok[r].remove_site(lender);
-                    self.last_tok[r].lender = None;
+                    self.tok_mut(r).remove_site(lender);
+                    self.tok_mut(r).lender = None;
                     self.send_token(r, lender);
                 }
             }
@@ -930,14 +996,13 @@ impl Allocator for Lass {
             if self.t_required.contains(r) {
                 continue;
             }
-            if let Some(next) = self.last_tok[r].dequeue() {
+            let next = self.last_tok.get_mut(r).and_then(|t| t.dequeue());
+            if let Some(next) = next {
                 self.send_token(r, next.sinit);
             }
         }
         self.t_required.clear();
-        for v in &mut self.my_vector {
-            *v = 0;
-        }
+        self.my_vector.clear();
         // [deviation 9] pending loan requests parked in the wLoan of tokens
         // we keep would otherwise only be retried on a future token receipt
         // — which may never come once we are idle.  Retrying them here (we
@@ -1039,7 +1104,7 @@ mod tests {
         // Make node 0 require resources 0,1 so it answers with a counter
         // value instead of shipping the token.
         let set01: ResourceSet = [0, 1].into_iter().collect();
-        nodes[0].request(&mut ctxs[0], set01);
+        nodes[0].request(&mut ctxs[0], set01.clone());
         assert!(ctxs[0].take_granted());
 
         nodes[1].request(&mut ctxs[1], set01);
@@ -1090,7 +1155,7 @@ mod tests {
         let (mut nodes, mut ctxs) = two_nodes();
         let set: ResourceSet = ResourceSet::singleton(0);
         // Node 0 enters CS on resource 0.
-        nodes[0].request(&mut ctxs[0], set);
+        nodes[0].request(&mut ctxs[0], set.clone());
         assert!(ctxs[0].take_granted());
         // Node 1 requests the same resource (single-resource fast path).
         nodes[1].request(&mut ctxs[1], set);

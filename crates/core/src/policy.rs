@@ -39,7 +39,14 @@ impl SchedulingPolicy {
     /// reachable under the single-resource optimization, where the mark is
     /// computed by the token holder instead).
     pub fn mark(&self, vector: &[u64]) -> f64 {
-        let nz = vector.iter().copied().filter(|&v| v != 0);
+        self.mark_sparse(vector.iter().copied())
+    }
+
+    /// Apply `A` to the counter values of a sparse vector: `vals` yields
+    /// the stored entries (zeros may be omitted — they are ignored either
+    /// way).  Equivalent to [`SchedulingPolicy::mark`] on the dense form.
+    pub fn mark_sparse(&self, vals: impl Iterator<Item = u64>) -> f64 {
+        let nz = vals.filter(|&v| v != 0);
         match self {
             SchedulingPolicy::AvgNonZero => {
                 let (sum, count) = nz.fold((0u64, 0u64), |(s, c), v| (s + v, c + 1));

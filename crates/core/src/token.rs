@@ -20,6 +20,11 @@ use crate::policy::order_key;
 use mra_types::{NodeId, RequestId, ResourceId};
 
 /// The unique token of one resource.
+///
+/// The `lastReqC`/`lastCS` timestamp maps are stored sparsely: only sites
+/// with a nonzero stamp appear, sorted by site id.  A fresh stamp is 0 for
+/// every site, so a fresh token costs O(1) memory regardless of `n` — the
+/// property that lets a 10k-node system hold 100k tokens.
 #[derive(Clone, Debug)]
 pub struct Token {
     /// The resource this token controls.
@@ -28,11 +33,13 @@ pub struct Token {
     /// in request vectors).
     pub counter: u64,
     /// `lastReqC[s]`: id of the last counter request from site `s` answered
-    /// by a holder.
-    pub last_req_c: Vec<RequestId>,
+    /// by a holder.  Sparse `(site, id)` pairs, sorted by site, nonzero ids
+    /// only.
+    pub(crate) last_req_c: Vec<(NodeId, RequestId)>,
     /// `lastCS[s]`: id of the last critical-section request of site `s`
     /// that has been satisfied (updated by `s` itself at release time).
-    pub last_cs: Vec<RequestId>,
+    /// Same sparse representation as `last_req_c`.
+    pub(crate) last_cs: Vec<(NodeId, RequestId)>,
     /// Pending resource requests, sorted by `/` (mark, then site id).
     pub w_queue: Vec<ResReq>,
     /// Pending loan requests, sorted by `/`.
@@ -42,17 +49,64 @@ pub struct Token {
 }
 
 impl Token {
-    /// Fresh token for resource `r` in an `n`-site system.
-    pub fn new(r: ResourceId, n: usize) -> Self {
+    /// Fresh token for resource `r`.  All timestamps start at 0, so the
+    /// sparse maps start empty whatever the system size.
+    pub fn new(r: ResourceId) -> Self {
         Token {
             r,
             counter: 1,
-            last_req_c: vec![0; n],
-            last_cs: vec![0; n],
+            last_req_c: Vec::new(),
+            last_cs: Vec::new(),
             w_queue: Vec::new(),
             w_loan: Vec::new(),
             lender: None,
         }
+    }
+
+    fn stamp(stamps: &[(NodeId, RequestId)], s: NodeId) -> RequestId {
+        match stamps.binary_search_by_key(&s, |&(site, _)| site) {
+            Ok(i) => stamps[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    fn set_stamp(stamps: &mut Vec<(NodeId, RequestId)>, s: NodeId, id: RequestId) {
+        match stamps.binary_search_by_key(&s, |&(site, _)| site) {
+            Ok(i) => {
+                if id == 0 {
+                    stamps.remove(i);
+                } else {
+                    stamps[i].1 = id;
+                }
+            }
+            Err(i) => {
+                if id != 0 {
+                    stamps.insert(i, (s, id));
+                }
+            }
+        }
+    }
+
+    /// `lastReqC[s]` (0 if never answered).
+    #[inline]
+    pub fn last_req_c(&self, s: NodeId) -> RequestId {
+        Self::stamp(&self.last_req_c, s)
+    }
+
+    /// Record `lastReqC[s] = id`.
+    pub fn set_last_req_c(&mut self, s: NodeId, id: RequestId) {
+        Self::set_stamp(&mut self.last_req_c, s, id);
+    }
+
+    /// `lastCS[s]` (0 if site `s` has never completed a CS on `r`).
+    #[inline]
+    pub fn last_cs(&self, s: NodeId) -> RequestId {
+        Self::stamp(&self.last_cs, s)
+    }
+
+    /// Record `lastCS[s] = id`.
+    pub fn set_last_cs(&mut self, s: NodeId, id: RequestId) {
+        Self::set_stamp(&mut self.last_cs, s, id);
     }
 
     /// Reserve the current counter value (and advance the counter).  Only
@@ -77,11 +131,11 @@ impl Token {
         let s = req.sinit();
         let id = req.id();
         match req {
-            Request::Cnt { single: false, .. } => id <= self.last_req_c[s],
+            Request::Cnt { single: false, .. } => id <= self.last_req_c(s),
             Request::Cnt { single: true, .. } => {
-                id <= self.last_req_c[s] || id <= self.last_cs[s]
+                id <= self.last_req_c(s) || id <= self.last_cs(s)
             }
-            Request::Res(_) | Request::Loan(_) => id <= self.last_cs[s],
+            Request::Res(_) | Request::Loan(_) => id <= self.last_cs(s),
         }
     }
 
@@ -142,9 +196,13 @@ impl Token {
         true
     }
 
-    /// Approximate message size in integer units (metrics only).
+    /// Approximate message size in integer units (metrics only).  Counts
+    /// the stamps actually carried on the wire: the sparse maps only ship
+    /// nonzero entries.
     pub fn weight(&self) -> usize {
-        2 + 2 * self.last_cs.len() + 5 * self.w_queue.len() + 9 * self.w_loan.len()
+        2 + 2 * (self.last_req_c.len() + self.last_cs.len())
+            + 5 * self.w_queue.len()
+            + 9 * self.w_loan.len()
     }
 }
 
@@ -159,7 +217,7 @@ mod tests {
 
     #[test]
     fn counter_hands_out_unique_increasing_values() {
-        let mut t = Token::new(0, 4);
+        let mut t = Token::new(0);
         assert_eq!(t.take_counter(), 1);
         assert_eq!(t.take_counter(), 2);
         assert_eq!(t.take_counter(), 3);
@@ -168,7 +226,7 @@ mod tests {
 
     #[test]
     fn queue_is_priority_ordered() {
-        let mut t = Token::new(0, 4);
+        let mut t = Token::new(0);
         assert!(t.enqueue_res(res(0, 2, 1, 5.0)));
         assert!(t.enqueue_res(res(0, 1, 1, 3.0)));
         assert!(t.enqueue_res(res(0, 3, 1, 5.0))); // tie on mark: site order
@@ -182,7 +240,7 @@ mod tests {
 
     #[test]
     fn queue_deduplicates_by_site_and_id() {
-        let mut t = Token::new(0, 4);
+        let mut t = Token::new(0);
         assert!(t.enqueue_res(res(0, 2, 1, 5.0)));
         assert!(!t.enqueue_res(res(0, 2, 1, 5.0)));
         assert!(t.enqueue_res(res(0, 2, 2, 6.0))); // new request id: distinct
@@ -193,9 +251,9 @@ mod tests {
 
     #[test]
     fn obsolete_rules() {
-        let mut t = Token::new(0, 4);
-        t.last_req_c[1] = 5;
-        t.last_cs[1] = 3;
+        let mut t = Token::new(0);
+        t.set_last_req_c(1, 5);
+        t.set_last_cs(1, 3);
         let cnt_old = Request::Cnt { r: 0, sinit: 1, id: 5, single: false };
         let cnt_new = Request::Cnt { r: 0, sinit: 1, id: 6, single: false };
         assert!(t.obsolete(&cnt_old));
@@ -215,7 +273,7 @@ mod tests {
 
     #[test]
     fn loan_queue_ordered_and_deduplicated() {
-        let mut t = Token::new(1, 4);
+        let mut t = Token::new(1);
         let l = |s: NodeId, id: RequestId, mark: f64| LoanReq {
             r: 1,
             sinit: s,
@@ -232,9 +290,33 @@ mod tests {
 
     #[test]
     fn weight_grows_with_queue() {
-        let mut t = Token::new(0, 4);
+        let mut t = Token::new(0);
         let w0 = t.weight();
         t.enqueue_res(res(0, 1, 1, 1.0));
         assert!(t.weight() > w0);
+    }
+
+    #[test]
+    fn sparse_stamps_default_to_zero_and_drop_zero_writes() {
+        let mut t = Token::new(0);
+        assert_eq!(t.last_req_c(12_345), 0);
+        assert_eq!(t.last_cs(0), 0);
+        assert_eq!(t.weight(), 2, "fresh token carries no stamps");
+        t.set_last_req_c(7, 4);
+        t.set_last_req_c(3, 9);
+        t.set_last_cs(7, 2);
+        assert_eq!(t.last_req_c(7), 4);
+        assert_eq!(t.last_req_c(3), 9);
+        assert_eq!(t.last_cs(7), 2);
+        assert_eq!(t.weight(), 2 + 2 * 3);
+        // Overwrite keeps one entry; a zero write removes it.
+        t.set_last_req_c(7, 5);
+        assert_eq!(t.last_req_c(7), 5);
+        t.set_last_req_c(7, 0);
+        assert_eq!(t.last_req_c(7), 0);
+        assert_eq!(t.weight(), 2 + 2 * 2);
+        // Pairs stay sorted by site whatever the insertion order.
+        assert_eq!(t.last_req_c, vec![(3, 9)]);
+        assert_eq!(t.last_cs, vec![(7, 2)]);
     }
 }

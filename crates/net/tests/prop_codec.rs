@@ -13,7 +13,7 @@ use mra_baselines::maddi::MadToken;
 use mra_core::{CounterVal, LassMsg, LoanReq, Request, ResReq, Token};
 use mra_mutex::{NtMsg, RayMsg, SkMsg, SkToken};
 use mra_protocol::WireCodec;
-use mra_types::{BitSet256, NodeSet, ResourceSet};
+use mra_types::{NodeSet, ResourceSet};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::collections::VecDeque;
@@ -28,14 +28,17 @@ fn assert_roundtrip<T: WireCodec + Debug>(v: &T) -> Result<(), TestCaseError> {
     Ok(())
 }
 
-/// Arbitrary bitset, biased toward interesting shapes: empty, sparse,
-/// dense and completely full (the 256-element maximum).
-fn any_set() -> impl Strategy<Value = BitSet256> {
+/// Arbitrary dynamic set, biased toward interesting shapes: empty, sparse,
+/// dense, full inline capacity, and sets past the 256-element inline
+/// boundary (heap representation, length-prefixed multi-word encoding).
+fn any_set() -> impl Strategy<Value = ResourceSet> {
     prop_oneof![
-        Just(BitSet256::EMPTY),
-        Just(BitSet256::full(256)),
+        Just(ResourceSet::EMPTY),
+        Just(ResourceSet::full(256)),
         vec(0usize..256, 0..12).prop_map(|els| els.into_iter().collect()),
-        (0usize..257).prop_map(BitSet256::full),
+        (0usize..257).prop_map(ResourceSet::full),
+        vec(0usize..100_000, 0..12).prop_map(|els| els.into_iter().collect()),
+        (256usize..2000).prop_map(ResourceSet::full),
     ]
 }
 
@@ -92,11 +95,11 @@ fn any_token() -> impl Strategy<Value = Token> {
         vec(any_counter(), 0..8),
     )
         .prop_map(|((r, counter, n), w_queue, w_loan, lender, stamps)| {
-            let mut t = Token::new(r, n);
+            let mut t = Token::new(r);
             t.counter = counter;
             for (i, s) in stamps.iter().enumerate() {
-                t.last_req_c[i % n] = *s;
-                t.last_cs[(i + 1) % n] = s.wrapping_mul(3);
+                t.set_last_req_c(i % n, *s);
+                t.set_last_cs((i + 1) % n, s.wrapping_mul(3));
             }
             // Route queue entries through the real insertion paths so the
             // encoded token is one the protocol could actually produce.
@@ -246,24 +249,35 @@ fn boundary_values_roundtrip() {
     // Max-size resource set in every position that carries one.
     let full = ResourceSet::full(256);
     assert_roundtrip(&LassMsg::Requests {
-        visited: full,
+        visited: full.clone(),
         reqs: vec![Request::Loan(LoanReq {
             r: 255,
             sinit: 255,
             id: u64::MAX,
             mark: f64::MAX,
-            missing: full,
+            missing: full.clone(),
         })],
     })
     .unwrap();
-    assert_roundtrip(&MadMsg::Request { origin: 255, ts: u64::MAX, set: full }).unwrap();
+    assert_roundtrip(&MadMsg::Request { origin: 255, ts: u64::MAX, set: full.clone() }).unwrap();
     assert_roundtrip(&CentralMsg::Request { set: full }).unwrap();
 
+    // A set past the inline boundary in every position that carries one.
+    let big: ResourceSet = [0usize, 255, 256, 99_999].into_iter().collect();
+    assert_roundtrip(&MadMsg::Request { origin: 255, ts: 1, set: big.clone() }).unwrap();
+    assert_roundtrip(&CentralMsg::Request { set: big.clone() }).unwrap();
+    assert_roundtrip(&LassMsg::Requests {
+        visited: NodeSet::EMPTY,
+        reqs: vec![Request::Loan(LoanReq { r: 99_999, sinit: 0, id: 1, mark: 0.5, missing: big })],
+    })
+    .unwrap();
+
     // Boundary counters everywhere a token carries them.
-    let mut t = Token::new(255, 32);
+    let mut t = Token::new(255);
     t.counter = u64::MAX;
-    for s in t.last_req_c.iter_mut().chain(t.last_cs.iter_mut()) {
-        *s = u64::MAX;
+    for s in 0..32 {
+        t.set_last_req_c(s, u64::MAX);
+        t.set_last_cs(s, u64::MAX);
     }
     assert_roundtrip(&LassMsg::Tokens(vec![t])).unwrap();
 

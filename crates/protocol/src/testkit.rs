@@ -90,7 +90,7 @@ impl SafetyMonitor {
 
     /// The set held by `who`, if it is in CS.
     pub fn held_by(&self, who: NodeId) -> Option<ResourceSet> {
-        self.in_cs[who]
+        self.in_cs[who].clone()
     }
 
     /// Number of nodes currently in CS.
@@ -113,7 +113,7 @@ impl SafetyMonitor {
     pub fn assert_conservation(&self) {
         for (r, h) in self.holder.iter().enumerate() {
             if let Some(w) = h {
-                let ok = self.in_cs[*w].is_some_and(|set| set.contains(r));
+                let ok = self.in_cs[*w].as_ref().is_some_and(|set| set.contains(r));
                 assert!(
                     ok,
                     "RESOURCE LEAK: resource {r} marked held by node {w}, \
@@ -377,7 +377,7 @@ impl<A: Allocator> VirtualNet<A> {
             "node {i} requested while busy"
         );
         assert!(!set.is_empty(), "empty request");
-        self.slots[i].pending = Some(set);
+        self.slots[i].pending = Some(set.clone());
         self.tick();
         let slot = &mut self.slots[i];
         slot.ctx.set_now(Time::from_nanos(self.steps));
@@ -554,7 +554,7 @@ where
         Slot {
             proto: self.proto.clone(),
             ctx: self.ctx.clone(),
-            pending: self.pending,
+            pending: self.pending.clone(),
         }
     }
 }
@@ -613,8 +613,8 @@ where
 {
     let mut root = net.clone();
     let mut done = vec![false; root.len()];
-    for &(node, set) in requests {
-        root.request(node, set);
+    for (node, set) in requests {
+        root.request(*node, set.clone());
     }
     let mut report = ExploreReport {
         completions: 0,

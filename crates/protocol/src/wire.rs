@@ -10,7 +10,13 @@
 //!   both universes at 256, so 32 bits leave ample headroom;
 //! * enums as a leading `u8` variant tag;
 //! * sequences as a `u32` element count followed by the elements;
-//! * [`BitSet256`] as its raw four words (see [`BitSet256::to_words`]).
+//! * sets ([`DynSet`], i.e. `ResourceSet`/`NodeSet`) as a `u32` word count
+//!   followed by that many raw words, trailing zero words trimmed (see
+//!   [`DynSet::to_words`]).  **Wire-format change note:** before the
+//!   dynamic-set refactor, sets were `BitSet256` and encoded as exactly
+//!   four raw words with no length prefix; the two formats are not
+//!   interoperable.  The legacy fixed-width codec is retained on
+//!   [`BitSet256`] itself for the parity tests.
 //!
 //! Codecs are *total on the encode side* and *validating on the decode
 //! side*: [`WireCodec::decode`] returns [`DecodeError`] instead of
@@ -25,7 +31,7 @@
 //! Framing (length prefixes on the wire, peer handshakes) is the
 //! transport's job — see the `mra-net` crate.
 
-use mra_types::{BitSet256, Time};
+use mra_types::{BitSet256, DynSet, Time};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -291,6 +297,25 @@ impl WireCodec for BitSet256 {
     }
 }
 
+impl WireCodec for DynSet {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let words = self.to_words();
+        put_usize(out, words.len());
+        for w in words {
+            put_u64(out, w);
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        let len = r.get_len(8, "DynSet")?;
+        let mut words = vec![0u64; len];
+        for w in &mut words {
+            *w = r.get_u64("DynSet")?;
+        }
+        Ok(DynSet::from_words(&words))
+    }
+}
+
 impl<T: WireCodec> WireCodec for Vec<T> {
     fn encode(&self, out: &mut Vec<u8>) {
         put_usize(out, self.len());
@@ -379,6 +404,29 @@ mod tests {
         roundtrip(BitSet256::full(256));
         roundtrip(BitSet256::EMPTY);
         roundtrip([0usize, 63, 64, 255].into_iter().collect::<BitSet256>());
+    }
+
+    #[test]
+    fn dynset_roundtrip_is_length_prefixed() {
+        roundtrip(DynSet::EMPTY);
+        roundtrip(DynSet::full(80));
+        roundtrip(DynSet::full(1000));
+        roundtrip([0usize, 63, 64, 255, 256, 99_999].into_iter().collect::<DynSet>());
+        // The empty set costs exactly the 4-byte length prefix; a small set
+        // costs prefix + one word — not the fixed 32 bytes of BitSet256.
+        assert_eq!(DynSet::EMPTY.to_bytes().len(), 4);
+        assert_eq!(DynSet::singleton(3).to_bytes().len(), 4 + 8);
+        assert_eq!(BitSet256::EMPTY.to_bytes().len(), 32);
+    }
+
+    #[test]
+    fn dynset_corrupt_word_count_rejected() {
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, 1000); // claims 1000 words, provides none
+        assert!(matches!(
+            DynSet::from_bytes(&bytes),
+            Err(DecodeError::BadLen { .. })
+        ));
     }
 
     #[test]

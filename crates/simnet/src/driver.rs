@@ -72,7 +72,7 @@ impl Driver {
         let (set, cs) = wl.next_request(rng);
         debug_assert!(!set.is_empty());
         self.state = DriverState::Waiting;
-        self.set = set;
+        self.set = set.clone();
         self.cs_len = cs;
         set
     }
@@ -100,7 +100,7 @@ impl Driver {
 
     /// The outstanding request's resource set.
     pub fn current_set(&self) -> ResourceSet {
-        self.set
+        self.set.clone()
     }
 }
 

@@ -90,7 +90,9 @@ pub struct RunResult {
     pub m: usize,
     /// Measurement window.
     pub window: (Time, Time),
-    /// All requests *issued inside the window* (in issue order).
+    /// All requests *issued inside the window*, sorted by
+    /// `(issued, node)` — a canonical order independent of how (and on how
+    /// many shards) the run executed.
     pub records: Vec<ReqRecord>,
     /// Per-resource busy time inside the window.
     pub busy: Vec<Time>,
@@ -122,6 +124,12 @@ pub struct RunResult {
     /// reliability is off, and under the threaded/TCP runtimes, whose
     /// per-port sessions are not aggregated here).
     pub reliability: ReliabilityStats,
+    /// How many shards the simulator engine ran on (1 for the sequential
+    /// path and for the non-simulator runtimes).
+    pub shards: usize,
+    /// Events processed per shard (sums to `events_processed`; empty for
+    /// the non-simulator runtimes).
+    pub shard_events: Vec<u64>,
 }
 
 impl RunResult {
@@ -253,8 +261,8 @@ impl Collector {
         debug_assert!(self.outstanding[node].is_none());
         self.outstanding[node] = Some(ReqRecord {
             node,
-            set,
             size: set.len(),
+            set,
             issued: now,
             granted: None,
             released: None,
@@ -314,6 +322,35 @@ impl Collector {
         }
     }
 
+    /// Fold another shard's collector into this one.  Node ownership is
+    /// disjoint across shards, so `outstanding` entries never collide;
+    /// every aggregate is either a sum or a set union.  Record order is
+    /// irrelevant here — [`Collector::finish`] sorts canonically.
+    pub fn absorb(&mut self, other: Collector) {
+        debug_assert_eq!(self.window, other.window);
+        debug_assert_eq!(self.m, other.m);
+        debug_assert_eq!(self.outstanding.len(), other.outstanding.len());
+        for (mine, theirs) in self.outstanding.iter_mut().zip(other.outstanding) {
+            if let Some(rec) = theirs {
+                debug_assert!(mine.is_none(), "node owned by two shards");
+                *mine = Some(rec);
+            }
+        }
+        self.records.extend(other.records);
+        for (mine, theirs) in self.busy.iter_mut().zip(other.busy) {
+            *mine += theirs;
+        }
+        self.msgs_total += other.msgs_total;
+        self.msg_weight += other.msg_weight;
+        self.cs_completed += other.cs_completed;
+        for (kind, count) in other.msg_by_kind {
+            match self.msg_by_kind.iter_mut().find(|(k, _)| *k == kind) {
+                Some((_, c)) => *c += count,
+                None => self.msg_by_kind.push((kind, count)),
+            }
+        }
+    }
+
     fn fold(&mut self, rec: ReqRecord) {
         let (a, b) = self.window;
         if let (Some(g), Some(e)) = (rec.granted, rec.released) {
@@ -360,6 +397,11 @@ impl Collector {
         // arrival pattern, so sort once here to make the reported
         // aggregation independent of message order.
         self.msg_by_kind.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        // Canonical record order: records accumulate in *release* order —
+        // and, on a sharded run, grouped by shard — so sort by
+        // `(issued, node)` (unique: one outstanding request per node) to
+        // make the output independent of the execution layout.
+        self.records.sort_by_key(|r| (r.issued, r.node));
         RunResult {
             algo: algo.to_string(),
             n,
@@ -376,6 +418,8 @@ impl Collector {
             wall_ns: 0,
             faults: FaultStats::default(),
             reliability: ReliabilityStats::default(),
+            shards: 1,
+            shard_events: Vec::new(),
         }
     }
 }
@@ -505,6 +549,47 @@ mod tests {
         c.on_message("A", 1);
         let res = c.finish("x", 1, t(10));
         assert_eq!(res.msg_by_kind, vec![("A", 3), ("B", 1)]);
+    }
+
+    #[test]
+    fn absorb_merges_shard_collectors() {
+        // One run split across two "shards" (node 0 / node 1) must finish
+        // to the same result as the sequential collector seeing both.
+        let build = |split: bool| {
+            let mut a = Collector::new(2, 2, (t(0), t(100)));
+            let mut b = Collector::new(2, 2, (t(0), t(100)));
+            {
+                let c = &mut a;
+                c.on_issue(0, ResourceSet::singleton(0), t(10));
+                c.on_grant(0, t(14));
+                c.on_release(0, t(20));
+                c.on_message("A", 2);
+            }
+            {
+                let c = if split { &mut b } else { &mut a };
+                c.on_issue(1, ResourceSet::singleton(1), t(5));
+                c.on_grant(1, t(8));
+                c.on_message("A", 2);
+                c.on_message("B", 1);
+                // Node 1 still in CS at the end: exercises `outstanding`.
+            }
+            if split {
+                a.absorb(b);
+            }
+            a.finish("x", 2, t(100))
+        };
+        let seq = build(false);
+        let merged = build(true);
+        assert_eq!(seq.cs_completed, merged.cs_completed);
+        assert_eq!(seq.msgs_total, merged.msgs_total);
+        assert_eq!(seq.msg_by_kind, merged.msg_by_kind);
+        assert_eq!(seq.busy, merged.busy);
+        assert_eq!(seq.records.len(), merged.records.len());
+        for (r, s) in seq.records.iter().zip(&merged.records) {
+            assert_eq!((r.node, r.issued, r.granted, r.released), (s.node, s.issued, s.granted, s.released));
+        }
+        // Canonical order: node 1 issued first, so it sorts first.
+        assert_eq!(merged.records[0].node, 1);
     }
 
     #[test]

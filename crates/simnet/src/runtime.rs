@@ -181,7 +181,7 @@ pub fn drive_node<A, W, P>(
                 match driver.state() {
                     DriverState::Thinking => {
                         let set = driver.issue(&mut workload, &mut rng);
-                        lock(&shared.collector).on_issue(me, set, shared.now());
+                        lock(&shared.collector).on_issue(me, set.clone(), shared.now());
                         deadline = None; // wait for the grant
                         ctx.set_now(shared.now());
                         proto.request(&mut ctx, set);

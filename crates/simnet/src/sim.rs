@@ -1,15 +1,38 @@
 //! The discrete-event simulation engine.
 //!
 //! A [`Sim`] owns one [`Allocator`] instance and one workload per node, a
-//! virtual clock, and a single event queue.  Two event types exist:
-//! message deliveries (after a sampled link latency, FIFO per directed
-//! link) and node timers (think-time expiry → issue a request; CS expiry →
-//! release).  Everything is deterministic given the seed: the heap breaks
-//! ties by schedule order.
+//! virtual clock, and an event queue per *shard*.  Two event classes
+//! exist: message deliveries (after a sampled link latency, FIFO per
+//! directed link) and node timers (think-time expiry → issue a request;
+//! CS expiry → release).  Everything is deterministic given the seed.
+//!
+//! # Sharded conservative execution
+//!
+//! With `SimConfig::shards = k > 1` the nodes are split round-robin across
+//! `k` shards (node `i` lives on shard `i % k`), each owning its own event
+//! queue, and the engine runs a *conservative windowed* parallel schedule:
+//! the minimum link latency `L = LatencyModel::min_latency()` is the
+//! **lookahead** — an event executing at time `t` can only schedule a
+//! remote event at `t + L` or later — so after agreeing on the global
+//! minimum timestamp `T`, every shard can process its events in
+//! `[T, T + L)` without hearing from anyone.  Cross-shard events travel
+//! through mailboxes exchanged between windows; no null messages are
+//! needed because the window barrier itself carries the time guarantee.
+//!
+//! Determinism does not stop at "some legal schedule": the sharded engine
+//! is **bit-identical** to the sequential one.  Every pushed event carries
+//! a canonical ordering key `(at, ord)` where `ord` encodes the single
+//! writer *lane* that produced it (a directed link, or a node's local
+//! timer lane) and a per-lane push counter.  Per-node processing order —
+//! and hence per-lane push sequences — is the same under any shard count,
+//! so the keys, and therefore the heap order, the RNG draws and every
+//! metric, coincide exactly.
 //!
 //! Safety is *monitored*, not assumed: every grant is checked against the
-//! holders of every resource (a violation panics), so each simulated
-//! experiment doubles as a large randomized protocol test.
+//! holders of every resource (a violation panics).  The single-shard path
+//! checks online; sharded runs log compact enter/exit notes per shard and
+//! replay them in global `(at, ord)` order at the end of the run, so each
+//! simulated experiment still doubles as a large randomized protocol test.
 
 use crate::driver::{Driver, DriverState, Workload};
 use crate::latency::LatencyModel;
@@ -18,9 +41,12 @@ use mra_protocol::faults::{Admit, FaultPlan, FaultState, FaultStats};
 use mra_protocol::reliable::{Reliability, ReliabilityStats, ReliableState, RtoVerdict};
 use mra_protocol::testkit::SafetyMonitor;
 use mra_protocol::{Allocator, Ctx, WireMsg};
-use mra_types::{NodeId, Time};
+use mra_types::{NodeId, ResourceSet, Time};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
 /// Simulation parameters.
@@ -40,13 +66,17 @@ pub struct SimConfig {
     /// Only nodes `0..active` issue requests (`None` = all).  Used by the
     /// coordinator-based central scheduler.
     pub active_nodes: Option<usize>,
-    /// Hard cap on processed events (runaway guard).
+    /// Hard cap on processed events per shard (runaway guard).
     pub max_events: u64,
+    /// Worker shards for the conservative parallel engine (clamped to
+    /// `[1, n]`; forced to 1 when the latency model has zero lookahead).
+    /// The result is bit-identical for every value.
+    pub shards: usize,
 }
 
 impl SimConfig {
     /// Reasonable defaults for tests: paper LAN latency, 100 ms warmup,
-    /// 1 s window, 1 s drain.
+    /// 1 s window, 1 s drain, one shard.
     pub fn quick(seed: u64) -> Self {
         SimConfig {
             latency: LatencyModel::paper_lan(),
@@ -56,7 +86,19 @@ impl SimConfig {
             drain: Time::from_secs(1),
             active_nodes: None,
             max_events: 200_000_000,
+            shards: 1,
         }
+    }
+
+    /// Shard count from the `MRA_SIM_SHARDS` environment variable
+    /// (default 1).  Values are sanitized to at least 1; `Sim::new` clamps
+    /// to the node count.
+    pub fn env_shards() -> usize {
+        std::env::var("MRA_SIM_SHARDS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&v| v >= 1)
+            .unwrap_or(1)
     }
 }
 
@@ -80,42 +122,92 @@ enum Ev<M> {
     CsEnd { node: NodeId },
 }
 
-/// Compact heap entry: the `(at, seq)` ordering key plus the slab slot
-/// holding the event payload, packed into 16 bytes.  The heap sifts these
-/// small `Copy` keys on every push/pop while the (potentially large)
-/// `Ev<M>` payloads stay put in the slab — `Scheduled<M>` used to drag
-/// whole protocol messages through every sift.
-///
-/// `ord = seq << SLOT_BITS | slot`: `seq` is unique per push, so the
-/// derived lexicographic `(at, ord)` order equals the engine's `(at, seq)`
-/// tie-breaking order and the slot bits never influence a comparison.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct EvKey {
-    at: Time,
-    ord: u64,
+impl<M> Ev<M> {
+    /// The node at which this event executes — and therefore the shard
+    /// that owns it.  Deliveries and acks run at the receiver; timers
+    /// (including retransmit timers) at the node that armed them.
+    #[inline]
+    fn executor(&self) -> NodeId {
+        match *self {
+            Ev::Deliver { to, .. }
+            | Ev::DeliverData { to, .. }
+            | Ev::DeliverAck { to, .. } => to,
+            Ev::Rto { from, .. } => from,
+            Ev::Think { node } | Ev::CsEnd { node } => node,
+        }
+    }
 }
 
-/// Slot index width inside [`EvKey::ord`]: up to 16 M in-flight events
-/// (a 32×80 paper run peaks at a few thousand) and 2^40 total pushes
-/// (`max_events` caps runs far below that).
-const SLOT_BITS: u32 = 24;
+/// Node count cap: lane ids (`from * n + to` and `n * n + node`) must fit
+/// in the upper 32 bits of an ordering key.
+const LANE_MAX_NODES: usize = 65_534;
 
-impl EvKey {
-    #[inline]
-    fn new(at: Time, seq: u64, slot: u32) -> Self {
-        // Hard assert: `max_events` is a user-settable config field, and a
-        // silent wrap into the slot bits would corrupt the event order.
-        assert!(seq < 1 << (64 - SLOT_BITS), "event seq overflow");
-        EvKey {
-            at,
-            ord: (seq << SLOT_BITS) | u64::from(slot),
+/// Per-lane state: the FIFO high-water mark of the wire lanes (never
+/// deliver before an earlier message on the same directed link) and the
+/// push counter that makes ordering keys unique.
+#[derive(Clone, Copy, Default)]
+struct LaneEnt {
+    last: Time,
+    ctr: u32,
+}
+
+/// One *lane* per single-writer push stream: `from * n + to` for frames on
+/// the directed link `from → to` (written by the shard owning `from` for
+/// data, by the shard owning the ack sender for acks), and `n * n + node`
+/// for a node's local pushes — timers and fault deferrals (written by the
+/// shard owning `node`).  Dense for paper-scale runs; a hash map above
+/// [`LANE_DENSE_MAX_NODES`] nodes, where the `n² + n` dense table would
+/// dwarf the live lane set (at 10 000 nodes: 100 M entries vs the few
+/// links a node actually talks on).
+enum LaneTable {
+    Dense(Vec<LaneEnt>),
+    Sparse(HashMap<u32, LaneEnt>),
+}
+
+/// Above this node count the lane table goes sparse.
+const LANE_DENSE_MAX_NODES: usize = 512;
+
+impl LaneTable {
+    fn new(n: usize) -> Self {
+        if n <= LANE_DENSE_MAX_NODES {
+            LaneTable::Dense(vec![LaneEnt::default(); n * n + n])
+        } else {
+            LaneTable::Sparse(HashMap::new())
         }
     }
 
     #[inline]
-    fn slot(self) -> u32 {
-        (self.ord & ((1 << SLOT_BITS) - 1)) as u32
+    fn ent(&mut self, lane: u32) -> &mut LaneEnt {
+        match self {
+            LaneTable::Dense(v) => &mut v[lane as usize],
+            LaneTable::Sparse(m) => m.entry(lane).or_default(),
+        }
     }
+}
+
+/// Mint the canonical ordering key fragment for one push on `lane`:
+/// `lane` in the high 32 bits, the bumped per-lane counter in the low 32.
+/// Unique per lane forever, hence globally unique — and identical for any
+/// shard count, because each lane has exactly one writer whose push
+/// sequence does not depend on the execution layout.
+#[inline]
+fn mk_ord(lane: u32, e: &mut LaneEnt) -> u64 {
+    let ord = (u64::from(lane) << 32) | u64::from(e.ctr);
+    e.ctr = e.ctr.checked_add(1).expect("lane push counter overflow");
+    ord
+}
+
+/// Compact heap entry: the canonical `(at, ord)` ordering key plus the
+/// slab slot holding the event payload.  The heap sifts these small `Copy`
+/// keys on every push/pop while the (potentially large) `Ev<M>` payloads
+/// stay put in the slab.  `(at, ord)` is globally unique (see [`mk_ord`]),
+/// so the derived lexicographic order never consults `slot` when comparing
+/// distinct events.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EvKey {
+    at: Time,
+    ord: u64,
+    slot: u32,
 }
 
 /// The simulator's event queue: a 4-ary min-heap of packed [`EvKey`]s over
@@ -124,16 +216,14 @@ impl EvKey {
 /// 4-ary because sift-down dominates a discrete-event workload (every pop
 /// sifts, pushes often stop early): halving the tree depth trades two
 /// extra (adjacent, same-cache-line) comparisons per level for half the
-/// memory moves, and the hole-based sift moves each 16-byte key once
-/// instead of swapping.  In steady state (constant event population) every
-/// push reuses a freed slot, so the queue performs no heap allocation
-/// after warmup.
+/// memory moves, and the hole-based sift moves each key once instead of
+/// swapping.  In steady state (constant event population) every push
+/// reuses a freed slot, so the queue performs no heap allocation after
+/// warmup.
 struct EventQueue<M> {
     heap: Vec<EvKey>,
     slab: Vec<Option<Ev<M>>>,
     free: Vec<u32>,
-    /// Push counter; breaks `at` ties in schedule order (determinism).
-    seq: u64,
 }
 
 impl<M> EventQueue<M> {
@@ -142,13 +232,10 @@ impl<M> EventQueue<M> {
             heap: Vec::new(),
             slab: Vec::new(),
             free: Vec::new(),
-            seq: 0,
         }
     }
 
-    fn push(&mut self, at: Time, ev: Ev<M>) {
-        let seq = self.seq;
-        self.seq += 1;
+    fn push(&mut self, at: Time, ord: u64, ev: Ev<M>) {
         let slot = match self.free.pop() {
             Some(s) => {
                 debug_assert!(self.slab[s as usize].is_none());
@@ -156,7 +243,7 @@ impl<M> EventQueue<M> {
                 s
             }
             None => {
-                assert!(self.slab.len() < 1 << SLOT_BITS, "event slab overflow");
+                assert!(self.slab.len() < u32::MAX as usize, "event slab overflow");
                 self.slab.push(Some(ev));
                 // The free list holds at most one entry per slab slot; keep
                 // its capacity at that bound so popping without a matching
@@ -168,7 +255,7 @@ impl<M> EventQueue<M> {
                 (self.slab.len() - 1) as u32
             }
         };
-        let key = EvKey::new(at, seq, slot);
+        let key = EvKey { at, ord, slot };
         // Sift up with a hole: parents shift down until `key` fits.
         let heap = &mut self.heap;
         heap.push(key);
@@ -184,7 +271,7 @@ impl<M> EventQueue<M> {
         heap[i] = key;
     }
 
-    fn pop(&mut self) -> Option<(Time, Ev<M>)> {
+    fn pop(&mut self) -> Option<(Time, u64, Ev<M>)> {
         let heap = &mut self.heap;
         let top = *heap.first()?;
         let tail = heap.pop().expect("heap is non-empty");
@@ -216,10 +303,16 @@ impl<M> EventQueue<M> {
             }
             heap[i] = tail;
         }
-        let slot = top.slot();
+        let slot = top.slot;
         let ev = self.slab[slot as usize].take().expect("slab slot vacant");
         self.free.push(slot);
-        Some((top.at, ev))
+        Some((top.at, top.ord, ev))
+    }
+
+    /// Timestamp of the earliest queued event.
+    #[inline]
+    fn peek_at(&self) -> Option<Time> {
+        self.heap.first().map(|k| k.at)
     }
 
     fn is_empty(&self) -> bool {
@@ -242,177 +335,182 @@ struct SimNode<A: Allocator, W> {
     driver: Driver,
     workload: W,
     rng: StdRng,
+    /// Per-node network RNG (jittered latency draws by this node's sends):
+    /// giving each sender its own stream keeps the draw sequence
+    /// independent of global event interleaving, which is what makes the
+    /// sharded schedule bit-identical to the sequential one.
+    net_rng: StdRng,
 }
 
-/// The simulator.
-pub struct Sim<A: Allocator, W: Workload> {
+/// A cross-shard event in flight between windows.
+struct Mail<M> {
+    at: Time,
+    ord: u64,
+    ev: Ev<M>,
+}
+
+/// The threaded driver's mailbox matrix: `boxes[src][dst]` carries mail
+/// from shard `src` to shard `dst`, written strictly before the
+/// end-of-window barrier and read strictly after it.
+type Mailboxes<M> = Vec<Vec<Mutex<Vec<Mail<M>>>>>;
+
+/// One CS enter/exit observation on a sharded run, replayed through a
+/// [`SafetyMonitor`] in global `(at, ord)` order at the end.  `elems`
+/// stores the granted set as a compact element list rather than a bitset:
+/// at 100 k resources a bitset clone per grant would cost ~12 KB each.
+struct CsNote {
+    at: Time,
+    ord: u64,
+    /// Exit sorts before enter at identical `(at, ord)` (cannot happen
+    /// today — one event never logs both — but the key is kept total).
+    enter: bool,
+    node: NodeId,
+    elems: Vec<u32>,
+}
+
+/// One worker shard: the nodes `i ≡ id (mod k)`, their event queue, lanes,
+/// clock and per-shard copies of every state the event handlers touch.
+/// Fault link filters are indexed by receiver, session-layer endpoints by
+/// their owning node, so under the executor mapping every access lands on
+/// the shard-local copy and no cross-shard locking is ever needed.
+struct Shard<A: Allocator, W: Workload> {
+    id: usize,
+    k: usize,
+    n: usize,
     nodes: Vec<SimNode<A, W>>,
     queue: EventQueue<A::Msg>,
+    lanes: LaneTable,
     now: Time,
-    net_rng: StdRng,
-    fifo_last: Vec<Time>,
-    monitor: SafetyMonitor,
+    events: u64,
+    horizon_cut: bool,
+    faults: Option<FaultState>,
+    reliable: Option<ReliableState<A::Msg>>,
     collector: Collector,
-    cfg: SimConfig,
+    /// Online safety monitor — single-shard runs only.
+    monitor: Option<SafetyMonitor>,
+    /// CS observations for the end-of-run replay — sharded runs only.
+    cs_log: Vec<CsNote>,
+    /// Outbound cross-shard events, one buffer per destination shard.
+    mail_out: Vec<Vec<Mail<A::Msg>>>,
+    latency: LatencyModel,
     stop_issuing: Time,
     end_at: Time,
-    n: usize,
-    /// Events processed so far (exposed as `RunResult::events_processed`).
-    events: u64,
-    /// True once an event past `end_at` was popped (and dropped).
-    horizon_cut: bool,
-    /// Installed fault layer, if any (event-pop injection).
-    faults: Option<FaultState>,
-    /// Installed reliable-delivery session layer, if any.
-    reliable: Option<ReliableState<A::Msg>>,
-    /// Set by [`Sim::init`]; guards against double initialization.
-    initialized: bool,
+    max_events: u64,
+    active: usize,
 }
 
-impl<A: Allocator, W: Workload> Sim<A, W> {
-    /// Build a simulation over one protocol instance and one workload per
-    /// node.
-    pub fn new(protos: Vec<A>, workloads: Vec<W>, m: usize, cfg: SimConfig) -> Self {
-        let n = protos.len();
-        assert_eq!(n, workloads.len());
-        let window = (cfg.warmup, cfg.warmup + cfg.measure);
-        let stop_issuing = window.1;
-        let end_at = window.1 + cfg.drain;
-        let nodes: Vec<SimNode<A, W>> = protos
-            .into_iter()
-            .zip(workloads)
-            .enumerate()
-            .map(|(i, (proto, workload))| SimNode {
-                proto,
-                ctx: Ctx::new(i, n),
-                driver: Driver::new(),
-                workload,
-                rng: StdRng::seed_from_u64(
-                    cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                ),
-            })
-            .collect();
-        Sim {
-            queue: EventQueue::new(),
-            now: Time::ZERO,
-            net_rng: StdRng::seed_from_u64(cfg.seed ^ 0xDEAD_BEEF_CAFE_F00D),
-            fifo_last: vec![Time::ZERO; n * n],
-            monitor: SafetyMonitor::new(n, m),
-            collector: Collector::new(n, m, window),
-            stop_issuing,
-            end_at,
-            n,
-            nodes,
-            cfg,
-            events: 0,
-            horizon_cut: false,
-            faults: None,
-            reliable: None,
-            initialized: false,
+/// Route an event to its executor: push locally, or into the mail buffer
+/// of the owning shard.
+#[inline]
+fn route<M>(
+    me: usize,
+    k: usize,
+    queue: &mut EventQueue<M>,
+    mail: &mut [Vec<Mail<M>>],
+    at: Time,
+    ord: u64,
+    ev: Ev<M>,
+) {
+    let dst = ev.executor() % k;
+    if dst == me {
+        queue.push(at, ord, ev);
+    } else {
+        mail[dst].push(Mail { at, ord, ev });
+    }
+}
+
+impl<A: Allocator, W: Workload> Shard<A, W> {
+    /// Local slot of a node this shard owns.
+    #[inline]
+    fn local(&self, i: NodeId) -> usize {
+        debug_assert_eq!(i % self.k, self.id, "node {i} not owned by shard {}", self.id);
+        i / self.k
+    }
+
+    /// Mint an ordering key on the local timer lane of `node` (which this
+    /// shard owns — local pushes never cross shards).
+    #[inline]
+    fn local_ord(&mut self, node: NodeId) -> u64 {
+        let lane = (self.n * self.n + node) as u32;
+        mk_ord(lane, self.lanes.ent(lane))
+    }
+
+    /// Initialize this shard's protocols and seed their think timers.
+    fn init_nodes(&mut self) {
+        for node in &mut self.nodes {
+            node.ctx.set_now(Time::ZERO);
+            node.proto.on_init(&mut node.ctx);
         }
-    }
-
-    /// Install a [`FaultPlan`]: every subsequent event pop runs through its
-    /// admission filter (drops, duplicate absorption, partitions, node
-    /// outages — see [`mra_protocol::faults`]).  Fault decisions are
-    /// counter-hashed from the plan's own seed, so installing a plan never
-    /// perturbs the workload or latency RNG streams: a zero-rate plan is
-    /// observationally identical to no plan.
-    ///
-    /// # Panics
-    /// If called after [`Sim::init`].
-    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        assert!(!self.initialized, "install the fault plan before init()");
-        self.faults = Some(FaultState::new(plan, self.n));
-    }
-
-    /// Fault counters accumulated so far (zero when no plan is installed).
-    pub fn fault_stats(&self) -> FaultStats {
-        self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
-    }
-
-    /// Enable the reliable-delivery session layer
-    /// ([`mra_protocol::reliable`]): every protocol message is sequenced
-    /// into a per-link session, receivers dedup and ack (piggybacked on
-    /// reverse traffic, standalone otherwise), and retransmit timers —
-    /// scheduled through the ordinary event heap — re-send unacked frames
-    /// with capped exponential backoff.  Combined with a
-    /// [recoverable](FaultPlan::is_recoverable) fault plan this restores
-    /// the paper's exactly-once FIFO channel model, and the end-of-run
-    /// deadlock check stays **armed** even though the plan is lossy.
-    ///
-    /// Off (the default) is the paper-faithful perfect-link mode: nothing
-    /// about the simulation changes.
-    ///
-    /// # Panics
-    /// If called after [`Sim::init`].
-    pub fn set_reliability(&mut self, cfg: Reliability) {
-        assert!(!self.initialized, "enable reliability before init()");
-        self.reliable = Some(ReliableState::new(cfg, self.n));
-    }
-
-    /// Session-layer counters accumulated so far (zero when disabled).
-    pub fn reliability_stats(&self) -> ReliabilityStats {
-        self.reliable.as_ref().map(|r| r.stats).unwrap_or_default()
-    }
-
-    /// Pre-reserve event-queue capacity for `slots` more in-flight events.
-    /// Steady-state dispatch never allocates once the queue has grown to
-    /// its peak population; this lets allocation-sensitive probes (the
-    /// zero-alloc guard) put the peak — retransmission bursts included —
-    /// inside pre-sized buffers up front.
-    pub fn reserve_events(&mut self, slots: usize) {
-        self.queue.reserve(slots);
-    }
-
-    fn push(&mut self, at: Time, ev: Ev<A::Msg>) {
-        self.queue.push(at, ev);
+        for j in 0..self.nodes.len() {
+            let i = j * self.k + self.id;
+            self.schedule_outbox(i);
+        }
+        for j in 0..self.nodes.len() {
+            let i = j * self.k + self.id;
+            if i < self.active {
+                let think = {
+                    let SimNode { workload, rng, .. } = &mut self.nodes[j];
+                    workload.think_time(rng)
+                };
+                let ord = self.local_ord(i);
+                self.queue.push(think, ord, Ev::Think { node: i });
+            }
+        }
     }
 
     fn schedule_outbox(&mut self, from: NodeId) {
         // Disjoint field borrows: the outbox drains in place (its capacity
-        // is the reused buffer) while the queue and FIFO table are updated
-        // — no per-dispatch side buffer, no allocation, no copies.
-        let node = &mut self.nodes[from];
-        if !node.ctx.has_output() {
+        // is the reused buffer) while the queue, lane table and mail
+        // buffers are updated — no per-dispatch side buffer, no copies.
+        let j = self.local(from);
+        let SimNode { ctx, net_rng, .. } = &mut self.nodes[j];
+        if !ctx.has_output() {
             // Common case: the handler replied with nothing (counter
             // updates, absorbed tokens).
             return;
         }
         let queue = &mut self.queue;
-        let fifo_last = &mut self.fifo_last;
-        let latency = &self.cfg.latency;
-        let net_rng = &mut self.net_rng;
+        let lanes = &mut self.lanes;
+        let mail = &mut self.mail_out;
+        let latency = &self.latency;
         let now = self.now;
         let n = self.n;
+        let (me, k) = (self.id, self.k);
         match self.reliable.as_mut() {
             None => {
-                for (to, msg) in node.ctx.drain_outbox() {
+                for (to, msg) in ctx.drain_outbox() {
                     // `sample` fast-paths deterministic models (the paper's
                     // γ = const) without touching the RNG.
                     let lat = latency.sample(from, to, net_rng);
-                    let link = from * n + to;
+                    let lane = (from * n + to) as u32;
+                    let e = lanes.ent(lane);
                     // Reliable FIFO links: never deliver before an earlier
                     // message on the same link (1 ns separation keeps
                     // strict order even under jittered latency).
-                    let at = (now + lat).max(fifo_last[link] + Time::from_nanos(1));
-                    fifo_last[link] = at;
-                    queue.push(at, Ev::Deliver { from, to, msg });
+                    let at = (now + lat).max(e.last + Time::from_nanos(1));
+                    e.last = at;
+                    let ord = mk_ord(lane, e);
+                    route(me, k, queue, mail, at, ord, Ev::Deliver { from, to, msg });
                 }
             }
             Some(st) => {
-                for (to, msg) in node.ctx.drain_outbox() {
+                for (to, msg) in ctx.drain_outbox() {
                     // Session mode: stamp the frame, retain the retransmit
                     // copy, piggyback the cumulative ack, and make sure a
                     // retransmit timer is ticking for this link.
                     let (seq, ack) = st.on_send(from, to, &msg, now);
                     let lat = latency.sample(from, to, net_rng);
-                    let link = from * n + to;
-                    let at = (now + lat).max(fifo_last[link] + Time::from_nanos(1));
-                    fifo_last[link] = at;
-                    queue.push(at, Ev::DeliverData { from, to, seq, ack, msg });
+                    let lane = (from * n + to) as u32;
+                    let e = lanes.ent(lane);
+                    let at = (now + lat).max(e.last + Time::from_nanos(1));
+                    e.last = at;
+                    let ord = mk_ord(lane, e);
+                    route(me, k, queue, mail, at, ord, Ev::DeliverData { from, to, seq, ack, msg });
                     if st.needs_arm(from, to) {
-                        queue.push(now + st.rto_delay(from, to), Ev::Rto { from, to });
+                        // The retransmit timer executes at `from` = here.
+                        let tl = (n * n + from) as u32;
+                        let tord = mk_ord(tl, lanes.ent(tl));
+                        queue.push(now + st.rto_delay(from, to), tord, Ev::Rto { from, to });
                     }
                 }
             }
@@ -429,75 +527,76 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
         let Some(ack) = st.pending_ack(from, to) else {
             return;
         };
-        let lat = self.cfg.latency.sample(to, from, &mut self.net_rng);
+        let j = self.local(to);
+        let lat = self.latency.sample(to, from, &mut self.nodes[j].net_rng);
         // Acks bypass the FIFO tiebreak on purpose: a cumulative ack is
         // order-insensitive (applying an older value after a newer one is
         // a no-op), and exempting it keeps data-frame timing — and thus
         // every protocol outcome under constant latency — identical to the
-        // reliability-off schedule when no frame is ever lost.
-        self.queue
-            .push(self.now + lat, Ev::DeliverAck { from: to, to: from, ack });
+        // reliability-off schedule when no frame is ever lost.  The ack
+        // still draws its key from the `to → from` wire lane (same writer:
+        // this shard owns `to`), just without bumping the FIFO mark.
+        let lane = (to * self.n + from) as u32;
+        let ord = mk_ord(lane, self.lanes.ent(lane));
+        let at = self.now + lat;
+        route(
+            self.id,
+            self.k,
+            &mut self.queue,
+            &mut self.mail_out,
+            at,
+            ord,
+            Ev::DeliverAck { from: to, to: from, ack },
+        );
     }
 
-    fn post_dispatch(&mut self, i: NodeId) {
+    fn note_cs_enter(&mut self, node: NodeId, ord: u64, set: ResourceSet) {
+        match self.monitor.as_mut() {
+            Some(mon) => mon.enter(node, set),
+            None => self.cs_log.push(CsNote {
+                at: self.now,
+                ord,
+                enter: true,
+                node,
+                elems: set.iter().map(|r| r as u32).collect(),
+            }),
+        }
+    }
+
+    fn note_cs_exit(&mut self, node: NodeId, ord: u64) {
+        match self.monitor.as_mut() {
+            Some(mon) => mon.exit(node),
+            None => self.cs_log.push(CsNote {
+                at: self.now,
+                ord,
+                enter: false,
+                node,
+                elems: Vec::new(),
+            }),
+        }
+    }
+
+    fn post_dispatch(&mut self, i: NodeId, ord: u64) {
         self.schedule_outbox(i);
-        if self.nodes[i].ctx.take_granted() {
-            let set = self.nodes[i].driver.current_set();
-            self.monitor.enter(i, set);
-            self.collector.on_grant(i, self.now);
-            let cs = self.nodes[i].driver.granted();
-            self.push(self.now + cs, Ev::CsEnd { node: i });
+        let j = self.local(i);
+        if self.nodes[j].ctx.take_granted() {
+            let set = self.nodes[j].driver.current_set();
+            let now = self.now;
+            self.note_cs_enter(i, ord, set);
+            self.collector.on_grant(i, now);
+            let cs = self.nodes[j].driver.granted();
+            let lord = self.local_ord(i);
+            self.queue.push(now + cs, lord, Ev::CsEnd { node: i });
         }
     }
 
-    /// Initialize the protocols and seed the initial think timers.  Part of
-    /// the stepping API; [`Sim::run`] calls it automatically when it was
-    /// not already called.
-    ///
-    /// # Panics
-    /// On a second call — protocols must not be initialized twice.
-    pub fn init(&mut self) {
-        assert!(!self.initialized, "Sim::init() called twice");
-        self.initialized = true;
-        let active = self.cfg.active_nodes.unwrap_or(self.n);
-        // Init protocols, then stagger initial think timers.
-        for i in 0..self.n {
-            let node = &mut self.nodes[i];
-            node.ctx.set_now(Time::ZERO);
-            node.proto.on_init(&mut node.ctx);
-        }
-        for i in 0..self.n {
-            self.schedule_outbox(i);
-        }
-        for i in 0..active {
-            let node = &mut self.nodes[i];
-            let think = {
-                let SimNode { workload, rng, .. } = node;
-                workload.think_time(rng)
-            };
-            self.push(think, Ev::Think { node: i });
-        }
-    }
-
-    /// Process one event.  Returns `false` when the simulation is over:
-    /// the queue ran dry, or the next event lies past the drain horizon
-    /// (such events — e.g. a CS ending during the cut-off — are
-    /// intentionally dropped).  Exposed so probes (tracing, allocation
-    /// tests) can observe the loop mid-run; [`Sim::run`] is the normal
-    /// entry point.
-    pub fn step(&mut self) -> bool {
-        let Some((at, ev)) = self.queue.pop() else {
-            return false;
-        };
-        if at > self.end_at {
-            self.horizon_cut = true;
-            return false;
-        }
+    /// Execute one event at its scheduled time.
+    fn dispatch(&mut self, at: Time, ord: u64, ev: Ev<A::Msg>) {
         self.events += 1;
         assert!(
-            self.events <= self.cfg.max_events,
+            self.events <= self.max_events,
             "simulation exceeded {} events — runaway protocol?",
-            self.cfg.max_events
+            self.max_events
         );
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
@@ -506,43 +605,50 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
                 // Fault admission at event pop: the zero-alloc hot path is
                 // preserved — decisions are pure hashes over pre-sized
                 // tables, a deferral re-pushes into the free-list slab.
-                if let Some(fs) = self.faults.as_mut() {
-                    match fs.admit(from, to, at) {
-                        Admit::Drop => return true,
-                        Admit::Defer(until) => {
-                            let when = until.max(at + Time::from_nanos(1));
-                            self.queue.push(when, Ev::Deliver { from, to, msg });
-                            return true;
-                        }
-                        // `admit` folds wire duplicates into Deliver; the
-                        // variant only flows out of `admit_wire`.
-                        Admit::Deliver | Admit::Duplicate => {}
+                let verdict = match self.faults.as_mut() {
+                    Some(fs) => fs.admit(from, to, at),
+                    None => Admit::Deliver,
+                };
+                match verdict {
+                    Admit::Drop => return,
+                    Admit::Defer(until) => {
+                        let when = until.max(at + Time::from_nanos(1));
+                        let lord = self.local_ord(to);
+                        self.queue.push(when, lord, Ev::Deliver { from, to, msg });
+                        return;
                     }
+                    // `admit` folds wire duplicates into Deliver; the
+                    // variant only flows out of `admit_wire`.
+                    Admit::Deliver | Admit::Duplicate => {}
                 }
                 self.collector.on_message(msg.kind(), msg.weight());
-                let node = &mut self.nodes[to];
-                node.ctx.set_now(self.now);
+                let j = self.local(to);
+                let node = &mut self.nodes[j];
+                node.ctx.set_now(at);
                 node.proto.on_message(&mut node.ctx, from, msg);
-                self.post_dispatch(to);
+                self.post_dispatch(to, ord);
             }
             Ev::DeliverData { from, to, seq, ack, msg } => {
                 // A wire duplicate is a one-off copy arriving right behind
                 // the original; it is absorbed by the receive window
                 // inline (it never re-enters the fault filter — a copy of
                 // a copy would cascade at high dup rates).
+                let verdict = match self.faults.as_mut() {
+                    Some(fs) => fs.admit_wire(from, to, at),
+                    None => Admit::Deliver,
+                };
                 let mut dup_copy = false;
-                if let Some(fs) = self.faults.as_mut() {
-                    match fs.admit_wire(from, to, at) {
-                        Admit::Drop => return true,
-                        Admit::Defer(until) => {
-                            let when = until.max(at + Time::from_nanos(1));
-                            self.queue
-                                .push(when, Ev::DeliverData { from, to, seq, ack, msg });
-                            return true;
-                        }
-                        Admit::Duplicate => dup_copy = true,
-                        Admit::Deliver => {}
+                match verdict {
+                    Admit::Drop => return,
+                    Admit::Defer(until) => {
+                        let when = until.max(at + Time::from_nanos(1));
+                        let lord = self.local_ord(to);
+                        self.queue
+                            .push(when, lord, Ev::DeliverData { from, to, seq, ack, msg });
+                        return;
                     }
+                    Admit::Duplicate => dup_copy = true,
+                    Admit::Deliver => {}
                 }
                 let st = self
                     .reliable
@@ -555,27 +661,31 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
                 }
                 if deliver {
                     self.collector.on_message(msg.kind(), msg.weight());
-                    let node = &mut self.nodes[to];
-                    node.ctx.set_now(self.now);
+                    let j = self.local(to);
+                    let node = &mut self.nodes[j];
+                    node.ctx.set_now(at);
                     node.proto.on_message(&mut node.ctx, from, msg);
-                    self.post_dispatch(to);
+                    self.post_dispatch(to, ord);
                 }
                 // The handler's reply (if any) piggybacked the ack inside
                 // `post_dispatch`; otherwise a standalone ack goes out now.
                 self.flush_pending_ack(from, to);
             }
             Ev::DeliverAck { from, to, ack } => {
-                if let Some(fs) = self.faults.as_mut() {
-                    match fs.admit_wire(from, to, at) {
-                        Admit::Drop => return true,
-                        Admit::Defer(until) => {
-                            let when = until.max(at + Time::from_nanos(1));
-                            self.queue.push(when, Ev::DeliverAck { from, to, ack });
-                            return true;
-                        }
-                        // A duplicated ack is idempotent: apply once.
-                        Admit::Deliver | Admit::Duplicate => {}
+                let verdict = match self.faults.as_mut() {
+                    Some(fs) => fs.admit_wire(from, to, at),
+                    None => Admit::Deliver,
+                };
+                match verdict {
+                    Admit::Drop => return,
+                    Admit::Defer(until) => {
+                        let when = until.max(at + Time::from_nanos(1));
+                        let lord = self.local_ord(to);
+                        self.queue.push(when, lord, Ev::DeliverAck { from, to, ack });
+                        return;
                     }
+                    // A duplicated ack is idempotent: apply once.
+                    Admit::Deliver | Admit::Duplicate => {}
                 }
                 self.reliable
                     .as_mut()
@@ -585,13 +695,18 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
             Ev::Rto { from, to } => {
                 // The sender owns this timer: a frozen/crashed node's
                 // timers resume at restart, like its Think/CsEnd timers.
-                if let Some(fs) = self.faults.as_mut() {
-                    if let Some((_, until)) = fs.outage(from, at) {
+                let deferred = match self.faults.as_mut() {
+                    Some(fs) => fs.outage(from, at).map(|(_, until)| {
                         fs.stats.deferred += 1;
-                        let when = until.max(at + Time::from_nanos(1));
-                        self.queue.push(when, Ev::Rto { from, to });
-                        return true;
-                    }
+                        until
+                    }),
+                    None => None,
+                };
+                if let Some(until) = deferred {
+                    let when = until.max(at + Time::from_nanos(1));
+                    let lord = self.local_ord(from);
+                    self.queue.push(when, lord, Ev::Rto { from, to });
+                    return;
                 }
                 let st = self
                     .reliable
@@ -600,51 +715,70 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
                 match st.on_rto(from, to, at) {
                     // Everything acked in the meantime; the timer dies and
                     // the next send re-arms it.
-                    RtoVerdict::Idle => return true,
+                    RtoVerdict::Idle => return,
                     // The oldest unacked frame is younger than the timeout
                     // (the timer was armed for an already-acked frame):
                     // follow it without retransmitting or backing off.
                     RtoVerdict::Rearm(when) => {
-                        self.queue.push(when, Ev::Rto { from, to });
-                        return true;
+                        let lord = self.local_ord(from);
+                        self.queue.push(when, lord, Ev::Rto { from, to });
+                        return;
                     }
                     RtoVerdict::Retransmit(_) => {}
                 }
-                let delay = st.rto_delay(from, to);
                 // Re-send the whole unacked window (go-back-N) with fresh
                 // latency samples, then re-arm with the backed-off delay.
                 // Field-disjoint borrows: the session state is read while
-                // the queue/FIFO table/RNG are written.
+                // the queue/lane table/RNG are written.
                 let st = self.reliable.as_ref().expect("session layer vanished");
-                let queue = &mut self.queue;
-                let fifo_last = &mut self.fifo_last;
-                let latency = &self.cfg.latency;
-                let net_rng = &mut self.net_rng;
-                let n = self.n;
-                let link = from * n + to;
+                let delay = st.rto_delay(from, to);
                 let ack = st.ack_for(from, to);
+                let j = from / self.k;
+                let SimNode { net_rng, .. } = &mut self.nodes[j];
+                let queue = &mut self.queue;
+                let lanes = &mut self.lanes;
+                let mail = &mut self.mail_out;
+                let latency = &self.latency;
+                let (me, k, n) = (self.id, self.k, self.n);
+                let lane = (from * n + to) as u32;
                 for (seq, msg) in st.unacked(from, to) {
                     let lat = latency.sample(from, to, net_rng);
-                    let when = (at + lat).max(fifo_last[link] + Time::from_nanos(1));
-                    fifo_last[link] = when;
-                    queue.push(when, Ev::DeliverData { from, to, seq, ack, msg: msg.clone() });
+                    let e = lanes.ent(lane);
+                    let when = (at + lat).max(e.last + Time::from_nanos(1));
+                    e.last = when;
+                    let o = mk_ord(lane, e);
+                    route(me, k, queue, mail, when, o, Ev::DeliverData {
+                        from,
+                        to,
+                        seq,
+                        ack,
+                        msg: msg.clone(),
+                    });
                 }
-                queue.push(at + delay, Ev::Rto { from, to });
+                let tl = (n * n + from) as u32;
+                let tord = mk_ord(tl, lanes.ent(tl));
+                queue.push(at + delay, tord, Ev::Rto { from, to });
             }
             Ev::Think { node: i } => {
                 // A down node (paused or crashed) does not run its
                 // application lifecycle; the timer resumes at restart.
-                if let Some(fs) = self.faults.as_mut() {
-                    if let Some((_, until)) = fs.outage(i, at) {
+                let deferred = match self.faults.as_mut() {
+                    Some(fs) => fs.outage(i, at).map(|(_, until)| {
                         fs.stats.deferred += 1;
-                        let when = until.max(at + Time::from_nanos(1));
-                        self.queue.push(when, Ev::Think { node: i });
-                        return true;
-                    }
+                        until
+                    }),
+                    None => None,
+                };
+                if let Some(until) = deferred {
+                    let when = until.max(at + Time::from_nanos(1));
+                    let lord = self.local_ord(i);
+                    self.queue.push(when, lord, Ev::Think { node: i });
+                    return;
                 }
-                if self.now >= self.stop_issuing {
-                    self.nodes[i].driver.park();
-                    return true;
+                let j = self.local(i);
+                if at >= self.stop_issuing {
+                    self.nodes[j].driver.park();
+                    return;
                 }
                 let set = {
                     let SimNode {
@@ -652,46 +786,500 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
                         workload,
                         rng,
                         ..
-                    } = &mut self.nodes[i];
+                    } = &mut self.nodes[j];
                     driver.issue(workload, rng)
                 };
-                self.collector.on_issue(i, set, self.now);
-                let node = &mut self.nodes[i];
-                node.ctx.set_now(self.now);
+                self.collector.on_issue(i, set.clone(), at);
+                let node = &mut self.nodes[j];
+                node.ctx.set_now(at);
                 node.proto.request(&mut node.ctx, set);
-                self.post_dispatch(i);
+                self.post_dispatch(i, ord);
             }
             Ev::CsEnd { node: i } => {
-                if let Some(fs) = self.faults.as_mut() {
-                    if let Some((_, until)) = fs.outage(i, at) {
+                let deferred = match self.faults.as_mut() {
+                    Some(fs) => fs.outage(i, at).map(|(_, until)| {
                         // The frozen node holds its resources through the
                         // outage; it releases at restart.
                         fs.stats.deferred += 1;
-                        let when = until.max(at + Time::from_nanos(1));
-                        self.queue.push(when, Ev::CsEnd { node: i });
-                        return true;
-                    }
+                        until
+                    }),
+                    None => None,
+                };
+                if let Some(until) = deferred {
+                    let when = until.max(at + Time::from_nanos(1));
+                    let lord = self.local_ord(i);
+                    self.queue.push(when, lord, Ev::CsEnd { node: i });
+                    return;
                 }
-                self.collector.on_release(i, self.now);
-                self.monitor.exit(i);
-                let node = &mut self.nodes[i];
+                self.collector.on_release(i, at);
+                self.note_cs_exit(i, ord);
+                let j = self.local(i);
+                let node = &mut self.nodes[j];
                 node.driver.released();
-                node.ctx.set_now(self.now);
+                node.ctx.set_now(at);
                 node.proto.release(&mut node.ctx);
-                self.post_dispatch(i);
+                self.post_dispatch(i, ord);
                 let think = {
-                    let SimNode { workload, rng, .. } = &mut self.nodes[i];
+                    let SimNode { workload, rng, .. } = &mut self.nodes[j];
                     workload.think_time(rng)
                 };
-                self.push(self.now + think, Ev::Think { node: i });
+                let lord = self.local_ord(i);
+                self.queue.push(at + think, lord, Ev::Think { node: i });
             }
         }
+    }
+
+    /// Sequential engine step: pop–check–dispatch.  Only valid when this
+    /// shard is the whole simulation (`k == 1`).
+    fn step_seq(&mut self) -> bool {
+        let Some((at, ord, ev)) = self.queue.pop() else {
+            return false;
+        };
+        if at > self.end_at {
+            self.horizon_cut = true;
+            return false;
+        }
+        self.dispatch(at, ord, ev);
         true
     }
 
+    /// Process every local event strictly below `horizon` (and not past
+    /// the drain cut-off).
+    fn process_window(&mut self, horizon: Time) {
+        while let Some(top) = self.queue.peek_at() {
+            if top >= horizon {
+                return;
+            }
+            if top > self.end_at {
+                self.horizon_cut = true;
+                return;
+            }
+            let (at, ord, ev) = self.queue.pop().expect("peeked event vanished");
+            self.dispatch(at, ord, ev);
+        }
+    }
+
+    /// Earliest local timestamp in nanoseconds (`u64::MAX` = empty), the
+    /// value shards publish to agree on the next window.
+    fn local_min(&self) -> u64 {
+        self.queue.peek_at().map_or(u64::MAX, |t| t.as_nanos())
+    }
+}
+
+/// A poison-tolerant mutex lock: a panicking sibling shard must not turn
+/// every subsequent lock into a second, unrelated panic.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A reusable barrier that can be *aborted*: when a shard worker panics it
+/// aborts the barrier instead of leaving its siblings waiting forever, and
+/// every waiter returns `false` so the workers unwind cleanly.
+struct AbortBarrier {
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+    parties: usize,
+}
+
+struct BarrierState {
+    count: usize,
+    generation: u64,
+    aborted: bool,
+}
+
+impl AbortBarrier {
+    fn new(parties: usize) -> Self {
+        AbortBarrier {
+            state: Mutex::new(BarrierState {
+                count: 0,
+                generation: 0,
+                aborted: false,
+            }),
+            cv: Condvar::new(),
+            parties,
+        }
+    }
+
+    /// Wait for all parties.  Returns `false` if the barrier was aborted.
+    fn wait(&self) -> bool {
+        let mut st = lock(&self.state);
+        if st.aborted {
+            return false;
+        }
+        let gen = st.generation;
+        st.count += 1;
+        if st.count == self.parties {
+            st.count = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+            return true;
+        }
+        while st.generation == gen && !st.aborted {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        !st.aborted
+    }
+
+    fn abort(&self) {
+        let mut st = lock(&self.state);
+        st.aborted = true;
+        self.cv.notify_all();
+    }
+}
+
+/// The simulator.
+pub struct Sim<A: Allocator, W: Workload> {
+    shards: Vec<Shard<A, W>>,
+    k: usize,
+    n: usize,
+    m: usize,
+    /// The conservative lookahead: `latency.min_latency()`.
+    lookahead: Time,
+    end_at: Time,
+    cfg: SimConfig,
+    /// Set by [`Sim::init`]; guards against double initialization.
+    initialized: bool,
+}
+
+impl<A: Allocator, W: Workload> Sim<A, W> {
+    /// Build a simulation over one protocol instance and one workload per
+    /// node.  `cfg.shards` picks the parallel layout (clamped to `[1, n]`;
+    /// a zero-lookahead latency model forces one shard) — the results are
+    /// bit-identical for every value.
+    pub fn new(protos: Vec<A>, workloads: Vec<W>, m: usize, cfg: SimConfig) -> Self {
+        let n = protos.len();
+        assert_eq!(n, workloads.len());
+        assert!(n >= 1, "a simulation needs at least one node");
+        assert!(n <= LANE_MAX_NODES, "node count exceeds lane id space");
+        let window = (cfg.warmup, cfg.warmup + cfg.measure);
+        let stop_issuing = window.1;
+        let end_at = window.1 + cfg.drain;
+        let lookahead = cfg.latency.min_latency();
+        let mut k = cfg.shards.clamp(1, n);
+        if lookahead == Time::ZERO {
+            // No lookahead means no window can ever be processed safely in
+            // parallel; fall back to the sequential path silently (Zero
+            // latency is the shared-memory scheduler's model).
+            k = 1;
+        }
+        let active = cfg.active_nodes.unwrap_or(n);
+        let mut per: Vec<Vec<SimNode<A, W>>> =
+            (0..k).map(|_| Vec::with_capacity(n / k + 1)).collect();
+        for (i, (proto, workload)) in protos.into_iter().zip(workloads).enumerate() {
+            per[i % k].push(SimNode {
+                proto,
+                ctx: Ctx::new(i, n),
+                driver: Driver::new(),
+                workload,
+                rng: StdRng::seed_from_u64(
+                    cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ),
+                net_rng: StdRng::seed_from_u64(
+                    cfg.seed
+                        ^ 0xDEAD_BEEF_CAFE_F00D
+                        ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ),
+            });
+        }
+        let shards = per
+            .into_iter()
+            .enumerate()
+            .map(|(id, nodes)| Shard {
+                id,
+                k,
+                n,
+                nodes,
+                queue: EventQueue::new(),
+                lanes: LaneTable::new(n),
+                now: Time::ZERO,
+                events: 0,
+                horizon_cut: false,
+                faults: None,
+                reliable: None,
+                collector: Collector::new(n, m, window),
+                monitor: if k == 1 {
+                    Some(SafetyMonitor::new(n, m))
+                } else {
+                    None
+                },
+                cs_log: Vec::new(),
+                mail_out: (0..k).map(|_| Vec::new()).collect(),
+                latency: cfg.latency.clone(),
+                stop_issuing,
+                end_at,
+                max_events: cfg.max_events,
+                active,
+            })
+            .collect();
+        Sim {
+            shards,
+            k,
+            n,
+            m,
+            lookahead,
+            end_at,
+            cfg,
+            initialized: false,
+        }
+    }
+
+    /// The effective shard count after clamping (1 on zero-lookahead
+    /// latency models regardless of the configured value).
+    pub fn shards(&self) -> usize {
+        self.k
+    }
+
+    /// Install a [`FaultPlan`]: every subsequent event pop runs through its
+    /// admission filter (drops, duplicate absorption, partitions, node
+    /// outages — see [`mra_protocol::faults`]).  Fault decisions are
+    /// counter-hashed from the plan's own seed, so installing a plan never
+    /// perturbs the workload or latency RNG streams: a zero-rate plan is
+    /// observationally identical to no plan.  On a sharded run each shard
+    /// keeps its own filter state; every per-link counter is only ever
+    /// touched by the link's receiving shard, so the decisions — like
+    /// everything else — are independent of the layout.
+    ///
+    /// # Panics
+    /// If called after [`Sim::init`].
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(!self.initialized, "install the fault plan before init()");
+        for s in &mut self.shards {
+            s.faults = Some(FaultState::new(plan.clone(), self.n));
+        }
+    }
+
+    /// Fault counters accumulated so far (zero when no plan is installed),
+    /// aggregated over all shards.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut acc = FaultStats::default();
+        for s in &self.shards {
+            if let Some(f) = &s.faults {
+                acc.absorb(&f.stats);
+            }
+        }
+        acc
+    }
+
+    /// Enable the reliable-delivery session layer
+    /// ([`mra_protocol::reliable`]): every protocol message is sequenced
+    /// into a per-link session, receivers dedup and ack (piggybacked on
+    /// reverse traffic, standalone otherwise), and retransmit timers —
+    /// scheduled through the ordinary event heap — re-send unacked frames
+    /// with capped exponential backoff.  Combined with a
+    /// [recoverable](FaultPlan::is_recoverable) fault plan this restores
+    /// the paper's exactly-once FIFO channel model, and the end-of-run
+    /// deadlock check stays **armed** even though the plan is lossy.
+    /// Session endpoints split cleanly across shards: the transmit side of
+    /// a link lives at its sender, the receive side at its receiver.
+    ///
+    /// Off (the default) is the paper-faithful perfect-link mode: nothing
+    /// about the simulation changes.
+    ///
+    /// # Panics
+    /// If called after [`Sim::init`].
+    pub fn set_reliability(&mut self, cfg: Reliability) {
+        assert!(!self.initialized, "enable reliability before init()");
+        for s in &mut self.shards {
+            s.reliable = Some(ReliableState::new(cfg, self.n));
+        }
+    }
+
+    /// Session-layer counters accumulated so far (zero when disabled),
+    /// aggregated over all shards.
+    pub fn reliability_stats(&self) -> ReliabilityStats {
+        let mut acc = ReliabilityStats::default();
+        for s in &self.shards {
+            if let Some(r) = &s.reliable {
+                acc.absorb(&r.stats);
+            }
+        }
+        acc
+    }
+
+    /// Pre-reserve event-queue capacity for `slots` more in-flight events
+    /// on every shard.  Steady-state dispatch never allocates once the
+    /// queues have grown to their peak population; this lets
+    /// allocation-sensitive probes (the zero-alloc guard) put the peak —
+    /// retransmission bursts included — inside pre-sized buffers up front.
+    pub fn reserve_events(&mut self, slots: usize) {
+        for s in &mut self.shards {
+            s.queue.reserve(slots);
+            for buf in &mut s.mail_out {
+                buf.reserve(slots);
+            }
+        }
+    }
+
+    /// Initialize the protocols and seed the initial think timers.  Part of
+    /// the stepping API; [`Sim::run`] calls it automatically when it was
+    /// not already called.
+    ///
+    /// # Panics
+    /// On a second call — protocols must not be initialized twice.
+    pub fn init(&mut self) {
+        assert!(!self.initialized, "Sim::init() called twice");
+        self.initialized = true;
+        for s in &mut self.shards {
+            s.init_nodes();
+        }
+        // Init-time messages may cross shards (an elected node greeting
+        // its peers); deliver them before anyone computes a window.
+        self.exchange_mail();
+    }
+
+    /// Move every outbound cross-shard event into its destination queue.
+    /// Buffers are taken, drained and put back, so their capacity — and
+    /// the zero-alloc steady state — survives the exchange.
+    fn exchange_mail(&mut self) {
+        for src in 0..self.k {
+            for dst in 0..self.k {
+                if src == dst || self.shards[src].mail_out[dst].is_empty() {
+                    continue;
+                }
+                let mut buf = std::mem::take(&mut self.shards[src].mail_out[dst]);
+                let q = &mut self.shards[dst].queue;
+                for mail in buf.drain(..) {
+                    q.push(mail.at, mail.ord, mail.ev);
+                }
+                self.shards[src].mail_out[dst] = buf;
+            }
+        }
+    }
+
+    /// Process one event.  Returns `false` when the simulation is over:
+    /// the queue ran dry, or the next event lies past the drain horizon
+    /// (such events — e.g. a CS ending during the cut-off — are
+    /// intentionally dropped).  Exposed so probes (tracing, allocation
+    /// tests) can observe the loop mid-run; [`Sim::run`] is the normal
+    /// entry point.
+    ///
+    /// # Panics
+    /// On a sharded simulation — per-event stepping has no meaning across
+    /// concurrent windows; use [`Sim::step_window`] there.
+    pub fn step(&mut self) -> bool {
+        assert_eq!(self.k, 1, "step() requires a single shard — use step_window()");
+        self.shards[0].step_seq()
+    }
+
+    /// Process one conservative window across all shards **on the calling
+    /// thread** (the cooperative driver): agree on the global minimum
+    /// timestamp, let every shard process `[T, T + lookahead)`, then
+    /// exchange cross-shard mail.  Returns `false` when the simulation is
+    /// over.  Same schedule as the threaded driver inside [`Sim::run`] —
+    /// exposed so probes (the zero-alloc guard) can observe the sharded
+    /// loop without threads.
+    ///
+    /// # Panics
+    /// On a single-shard simulation — use [`Sim::step`] there.
+    pub fn step_window(&mut self) -> bool {
+        assert!(self.k > 1, "step_window() requires shards > 1 — use step()");
+        let t = self
+            .shards
+            .iter()
+            .map(|s| s.local_min())
+            .min()
+            .expect("at least one shard");
+        if t == u64::MAX || Time::from_nanos(t) > self.end_at {
+            for s in &mut self.shards {
+                if !s.queue.is_empty() {
+                    s.horizon_cut = true;
+                }
+            }
+            return false;
+        }
+        let horizon = Time::from_nanos(t) + self.lookahead;
+        for s in &mut self.shards {
+            s.process_window(horizon);
+        }
+        self.exchange_mail();
+        true
+    }
+
+    /// Liveness check, stats aggregation, safety replay and metric merge.
+    fn into_result(mut self, wall_ns: u64) -> RunResult {
+        let algo = self.shards[0].nodes[0].proto.name().to_string();
+        let active = self.cfg.active_nodes.unwrap_or(self.n);
+        let horizon_cut = self.shards.iter().any(|s| s.horizon_cut);
+        let queues_empty = self.shards.iter().all(|s| s.queue.is_empty());
+        let now_max = self.shards.iter().map(|s| s.now).max().expect("k >= 1");
+        // Sanity: a *naturally* exhausted event queue (no horizon cut) with
+        // a node still waiting is a genuine deadlock — nothing can ever
+        // unblock it.  A horizon cut is not: the unblocking event may have
+        // been dropped.  Neither is a lossy fault plan *without* the
+        // session layer: a dropped token legitimately starves its waiters
+        // (the starvation shows up as `censored` requests instead).  With
+        // reliability enabled the check is re-armed for every recoverable
+        // plan (drop rates < 1.0): retransmission owes liveness again.
+        let recovered = self.shards[0].reliable.is_some()
+            && self.shards[0]
+                .faults
+                .as_ref()
+                .map_or(true, |f| f.plan().is_recoverable());
+        let lossy = self.shards[0]
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.plan().is_lossy())
+            && !recovered;
+        if !horizon_cut && queues_empty && !lossy {
+            for s in &self.shards {
+                for (j, node) in s.nodes.iter().enumerate() {
+                    let i = j * s.k + s.id;
+                    if i < active && node.driver.state() == DriverState::Waiting {
+                        panic!(
+                            "liveness failure: node {i} still waiting at {now_max} \
+                             with no events left (algo {algo})"
+                        );
+                    }
+                }
+            }
+        }
+        let fault_stats = self.fault_stats();
+        let rel_stats = self.reliability_stats();
+        // Safety replay for sharded runs: the per-shard enter/exit logs
+        // merge into the global event order — `(at, ord)` is the exact key
+        // the heaps ordered by — and every grant is re-checked.
+        if self.k > 1 {
+            let total = self.shards.iter().map(|s| s.cs_log.len()).sum();
+            let mut notes: Vec<CsNote> = Vec::with_capacity(total);
+            for s in &mut self.shards {
+                notes.append(&mut s.cs_log);
+            }
+            notes.sort_unstable_by_key(|nt| (nt.at, nt.ord, nt.enter));
+            let mut mon = SafetyMonitor::new(self.n, self.m);
+            for nt in &notes {
+                if nt.enter {
+                    mon.enter(nt.node, nt.elems.iter().map(|&r| r as usize).collect());
+                } else {
+                    mon.exit(nt.node);
+                }
+            }
+        }
+        let end = now_max.min(self.end_at);
+        let shard_events: Vec<u64> = self.shards.iter().map(|s| s.events).collect();
+        let events: u64 = shard_events.iter().sum();
+        let k = self.k;
+        let n = self.n;
+        let mut it = self.shards.into_iter();
+        let mut collector = it.next().expect("k >= 1").collector;
+        for s in it {
+            collector.absorb(s.collector);
+        }
+        let mut res = collector.finish(&algo, n, end);
+        res.events_processed = events;
+        res.wall_ns = wall_ns;
+        res.faults = fault_stats;
+        res.reliability = rel_stats;
+        res.shards = k;
+        res.shard_events = shard_events;
+        res
+    }
+}
+
+impl<A: Allocator + Send, W: Workload> Sim<A, W> {
     /// Run to completion and return the measured result.  Composes with
     /// the stepping API: a partially stepped simulation resumes instead of
-    /// re-initializing.
+    /// re-initializing.  Sharded simulations run one worker thread per
+    /// shard (hence the `A: Send` bound; protocol states are plain data).
     ///
     /// Throughput accounting: `wall_ns` (and thus
     /// [`RunResult::events_per_sec`]) is only reported when `run` executed
@@ -701,54 +1289,133 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
     /// ("not measured") instead.
     pub fn run(mut self) -> RunResult {
         let started = Instant::now();
-        let whole_run = self.events == 0;
+        let whole_run = self.shards.iter().map(|s| s.events).sum::<u64>() == 0;
         if !self.initialized {
             self.init();
         }
-        while self.step() {}
+        if self.k == 1 {
+            let s = &mut self.shards[0];
+            while s.step_seq() {}
+        } else if std::thread::available_parallelism().map_or(1, |p| p.get()) > 1 {
+            self.run_windowed();
+        } else {
+            // One hardware thread: workers could only time-share, turning
+            // every barrier into a scheduling quantum.  Drive the identical
+            // windowed schedule cooperatively — same windows, same events,
+            // bit-identical result, no synchronization cost.
+            while self.step_window() {}
+        }
         let wall_ns = if whole_run {
             started.elapsed().as_nanos() as u64
         } else {
             0
         };
+        self.into_result(wall_ns)
+    }
 
-        let algo = self.nodes[0].proto.name().to_string();
-        let active = self.cfg.active_nodes.unwrap_or(self.n);
-        // Sanity: a *naturally* exhausted event queue (no horizon cut) with
-        // a node still waiting is a genuine deadlock — nothing can ever
-        // unblock it.  A horizon cut is not: the unblocking event may have
-        // been dropped.  Neither is a lossy fault plan *without* the
-        // session layer: a dropped token legitimately starves its waiters
-        // (the starvation shows up as `censored` requests instead).  With
-        // reliability enabled the check is re-armed for every recoverable
-        // plan (drop rates < 1.0): retransmission owes liveness again.
-        let recovered = self.reliable.is_some()
-            && self
-                .faults
-                .as_ref()
-                .map_or(true, |f| f.plan().is_recoverable());
-        let lossy =
-            self.faults.as_ref().is_some_and(|f| f.plan().is_lossy()) && !recovered;
-        if !self.horizon_cut && self.queue.is_empty() && !lossy {
-            for i in 0..active {
-                if self.nodes[i].driver.state() == DriverState::Waiting {
-                    panic!(
-                        "liveness failure: node {i} still waiting at {} with no \
-                         events left (algo {algo})",
-                        self.now
-                    );
+    /// The threaded windowed driver: one worker per shard, two barriers
+    /// per window (publish-mins, flush-mail), mailboxes under mutexes that
+    /// are only ever touched on opposite sides of a barrier.
+    fn run_windowed(&mut self) {
+        let k = self.k;
+        let lookahead = self.lookahead;
+        let end_at = self.end_at;
+        let mins: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let mailboxes: Mailboxes<A::Msg> = (0..k)
+            .map(|_| (0..k).map(|_| Mutex::new(Vec::new())).collect())
+            .collect();
+        let barrier = AbortBarrier::new(k);
+        let mins = &mins;
+        let mailboxes = &mailboxes;
+        let barrier = &barrier;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || drive_shard(shard, mins, mailboxes, barrier, lookahead, end_at),
+                        ));
+                        if let Err(payload) = caught {
+                            // Wake the siblings parked on the barrier so
+                            // the whole fleet unwinds instead of hanging.
+                            barrier.abort();
+                            std::panic::resume_unwind(payload);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    // Re-raise the first worker panic with its original
+                    // payload (a safety/liveness message, not a generic
+                    // "a scoped thread panicked").
+                    std::panic::resume_unwind(payload);
                 }
             }
-        }
+        });
+    }
+}
 
-        let fault_stats = self.fault_stats();
-        let rel_stats = self.reliability_stats();
-        let mut res = self.collector.finish(&algo, self.n, self.now.min(self.end_at));
-        res.events_processed = self.events;
-        res.wall_ns = wall_ns;
-        res.faults = fault_stats;
-        res.reliability = rel_stats;
-        res
+/// The per-worker loop of the threaded driver.  All mailbox writes happen
+/// strictly before the end-of-window barrier and all reads strictly after
+/// it (likewise for the `mins` slots around the publish barrier), so the
+/// mutexes are never contended — they exist to carry ownership, not to
+/// serialize.
+fn drive_shard<A: Allocator, W: Workload>(
+    shard: &mut Shard<A, W>,
+    mins: &[AtomicU64],
+    mailboxes: &Mailboxes<A::Msg>,
+    barrier: &AbortBarrier,
+    lookahead: Time,
+    end_at: Time,
+) {
+    let me = shard.id;
+    loop {
+        // Drain the mail the previous window flushed to this shard.
+        for (src, boxes) in mailboxes.iter().enumerate() {
+            if src == me {
+                continue;
+            }
+            let mut inbox = lock(&boxes[me]);
+            for mail in inbox.drain(..) {
+                shard.queue.push(mail.at, mail.ord, mail.ev);
+            }
+        }
+        // Publish my earliest timestamp; the barrier's lock ordering makes
+        // the relaxed stores visible to every reader after it.
+        mins[me].store(shard.local_min(), Ordering::Relaxed);
+        if !barrier.wait() {
+            return;
+        }
+        let t = mins
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .min()
+            .expect("k >= 1");
+        if t == u64::MAX || Time::from_nanos(t) > end_at {
+            // Uniform decision: every shard computed the same `t`, so all
+            // of them return here without another barrier.
+            if !shard.queue.is_empty() {
+                shard.horizon_cut = true;
+            }
+            return;
+        }
+        shard.process_window(Time::from_nanos(t) + lookahead);
+        for (dst, buf) in shard.mail_out.iter_mut().enumerate() {
+            if dst == me || buf.is_empty() {
+                continue;
+            }
+            let mut outbox = lock(&mailboxes[me][dst]);
+            outbox.append(buf);
+        }
+        // End-of-window barrier: everyone has flushed (and finished
+        // reading `mins` — the next store happens after this point), so
+        // the next iteration's drains and publishes are race-free.
+        if !barrier.wait() {
+            return;
+        }
     }
 }
 
@@ -779,6 +1446,8 @@ mod tests {
         assert!(res.use_rate() > 0.0 && res.use_rate() <= 1.0);
         assert!(res.wait_stats().count > 0);
         assert_eq!(res.censored, 0);
+        assert_eq!(res.shards, 1);
+        assert_eq!(res.shard_events, vec![res.events_processed]);
     }
 
     #[test]
@@ -824,8 +1493,9 @@ mod tests {
     #[test]
     fn messages_are_fifo_per_link() {
         // Statistical check via jittered latency: the engine must still
-        // deliver FIFO (enforced by fifo_last); the protocols would panic /
-        // deadlock otherwise.  Run with heavy jitter and verify completion.
+        // deliver FIFO (enforced by the lane table); the protocols would
+        // panic / deadlock otherwise.  Run with heavy jitter and verify
+        // completion.
         let mut cfg = SimConfig::quick(7);
         cfg.latency = LatencyModel::Uniform {
             lo: Time::from_micros(10),
@@ -1133,5 +1803,153 @@ mod tests {
             Sim::new(cfg.build_nodes(), wl, 6, SimConfig::quick(11)).run().use_rate()
         };
         assert!(busy(1) > busy(50));
+    }
+
+    // ---- sharded engine ----------------------------------------------
+
+    /// Everything in a [`RunResult`] that must be identical across shard
+    /// counts (all of it except the layout report itself).
+    fn fingerprint(r: &RunResult) -> impl PartialEq + std::fmt::Debug {
+        (
+            (
+                r.algo.clone(),
+                r.n,
+                r.m,
+                r.window,
+                r.cs_completed,
+                r.censored,
+                r.events_processed,
+            ),
+            (r.msgs_total, r.msg_weight, r.msg_by_kind.clone()),
+            r.busy.clone(),
+            r.records
+                .iter()
+                .map(|rec| (rec.node, rec.size, rec.issued, rec.granted, rec.released))
+                .collect::<Vec<_>>(),
+            (r.faults, r.reliability),
+        )
+    }
+
+    fn run_sharded(shards: usize, faulty: bool, reliable: bool) -> RunResult {
+        let cfg = LassConfig::with_loan(6, 12);
+        let mut sim_cfg = SimConfig::quick(61);
+        sim_cfg.shards = shards;
+        let mut sim = Sim::new(cfg.build_nodes(), fixed(6, 12, 3), 12, sim_cfg);
+        if faulty {
+            sim.set_fault_plan(
+                FaultPlan::new(13)
+                    .drop_rate(0.1)
+                    .dup_rate(0.05)
+                    .pause(2, Time::from_millis(200), Time::from_millis(350)),
+            );
+        }
+        if reliable {
+            sim.set_reliability(Reliability::with_rto(Time::from_millis(2)));
+        }
+        sim.run()
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_to_sequential() {
+        let seq = run_sharded(1, false, false);
+        for k in [2, 3, 6] {
+            let par = run_sharded(k, false, false);
+            assert_eq!(par.shards, k);
+            assert_eq!(par.shard_events.len(), k);
+            assert_eq!(par.shard_events.iter().sum::<u64>(), par.events_processed);
+            assert_eq!(fingerprint(&seq), fingerprint(&par), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_under_faults_and_reliability() {
+        let seq = run_sharded(1, true, true);
+        assert!(seq.faults.dropped_link > 0);
+        assert!(seq.reliability.retransmits > 0);
+        for k in [2, 4] {
+            let par = run_sharded(k, true, true);
+            assert_eq!(fingerprint(&seq), fingerprint(&par), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_under_jittered_latency() {
+        let run = |shards: usize| {
+            let cfg = LassConfig::with_loan(5, 10);
+            let mut sim_cfg = SimConfig::quick(71);
+            sim_cfg.shards = shards;
+            sim_cfg.latency = LatencyModel::Uniform {
+                lo: Time::from_micros(200),
+                hi: Time::from_millis(2),
+            };
+            Sim::new(cfg.build_nodes(), fixed(5, 10, 2), 10, sim_cfg).run()
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(fingerprint(&seq), fingerprint(&par));
+    }
+
+    #[test]
+    fn shard_count_clamps_to_nodes_and_lookahead() {
+        // More shards than nodes: clamped to n.
+        let cfg = LassConfig::with_loan(3, 6);
+        let mut sc = SimConfig::quick(5);
+        sc.shards = 64;
+        let sim = Sim::new(cfg.build_nodes(), fixed(3, 6, 2), 6, sc);
+        assert_eq!(sim.shards(), 3);
+        // Zero-lookahead latency: forced sequential.
+        let mut sc = SimConfig::quick(5);
+        sc.shards = 4;
+        sc.latency = LatencyModel::Zero;
+        let cfg = LassConfig::with_loan(4, 6);
+        let sim = Sim::new(cfg.build_nodes(), fixed(4, 6, 2), 6, sc);
+        assert_eq!(sim.shards(), 1);
+        let res = sim.run();
+        assert_eq!(res.shards, 1);
+        assert!(res.cs_completed > 0);
+    }
+
+    #[test]
+    fn cooperative_windows_match_threaded_run() {
+        let seq = run_sharded(1, false, false);
+        let cfg = LassConfig::with_loan(6, 12);
+        let mut sim_cfg = SimConfig::quick(61);
+        sim_cfg.shards = 3;
+        let mut sim = Sim::new(cfg.build_nodes(), fixed(6, 12, 3), 12, sim_cfg);
+        sim.init();
+        let mut windows = 0u64;
+        while sim.step_window() {
+            windows += 1;
+        }
+        assert!(windows > 10, "expected many conservative windows");
+        let res = sim.run();
+        assert_eq!(res.wall_ns, 0, "partially stepped runs report no throughput");
+        assert_eq!(fingerprint(&seq), fingerprint(&res));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a single shard")]
+    fn step_rejected_on_sharded_sim() {
+        let cfg = LassConfig::with_loan(4, 6);
+        let mut sc = SimConfig::quick(5);
+        sc.shards = 2;
+        let mut sim = Sim::new(cfg.build_nodes(), fixed(4, 6, 2), 6, sc);
+        sim.init();
+        sim.step();
+    }
+
+    #[test]
+    #[should_panic(expected = "requires shards > 1")]
+    fn step_window_rejected_on_sequential_sim() {
+        let cfg = LassConfig::with_loan(4, 6);
+        let mut sim = Sim::new(cfg.build_nodes(), fixed(4, 6, 2), 6, SimConfig::quick(5));
+        sim.init();
+        sim.step_window();
+    }
+
+    #[test]
+    fn env_shards_defaults_to_one() {
+        // The variable is not set in the test environment.
+        assert_eq!(SimConfig::env_shards(), 1);
     }
 }

@@ -1,10 +1,10 @@
 //! Fixed-capacity bitsets.
 //!
-//! Requests, token ownership, visited-node sets and conflict checks all
-//! manipulate sets of small integers on the protocol hot paths.  A
-//! `Copy` 4-word bitset avoids the allocation and hashing costs of
-//! `HashSet<usize>` while still supporting every set operation the
-//! algorithms need.
+//! Historically [`BitSet256`] sat behind the `ResourceSet`/`NodeSet`
+//! aliases; those now point at the dynamic [`crate::DynSet`].  The fixed
+//! 4-word set is kept as the **reference model** for the dynamic
+//! representation: `tests/prop_dynset.rs` checks that random op sequences
+//! agree between the two on the shared `0..256` universe.
 
 use crate::MAX_UNIVERSE;
 use std::fmt;
@@ -266,14 +266,6 @@ impl Iterator for SetIter {
 }
 
 impl ExactSizeIterator for SetIter {}
-
-/// A set of resources (`ResourceId`s).  The paper's `D`, `TOwned`,
-/// `TRequired`, `CntNeeded`, `TLent` and `missingRes` are all `ResourceSet`s.
-pub type ResourceSet = BitSet256;
-
-/// A set of nodes (`NodeId`s).  Used for the visited-node sets carried by
-/// forwarded request messages (paper §4.2.1).
-pub type NodeSet = BitSet256;
 
 #[cfg(test)]
 mod tests {

@@ -7,15 +7,31 @@
 //! * [`Time`] — a nanosecond-resolution instant/duration used as virtual time
 //!   by the discrete-event simulator and as real time by the threaded
 //!   runtime.
-//! * [`BitSet256`] — a fixed-capacity (256 element) bitset that is `Copy`
-//!   (4 machine words).  [`ResourceSet`] and [`NodeSet`] are typed wrappers.
+//! * [`DynSet`] — a dynamic word-vector bitset with an inline ≤256-element
+//!   fast path.  [`ResourceSet`] and [`NodeSet`] are typed aliases.
+//! * [`BitSet256`] — the historical fixed-capacity (256 element) `Copy`
+//!   bitset, retained as the reference model for `DynSet` parity tests.
+//! * [`ResTable`] — per-resource state storage, dense for small universes
+//!   and lazily materialized at 100k-resource scale.
 //! * [`NodeId`] / [`ResourceId`] / [`RequestId`] — plain index aliases.
 
 pub mod bitset;
+pub mod dynset;
+pub mod restable;
 pub mod time;
 
-pub use bitset::{BitSet256, NodeSet, ResourceSet, SetIter};
+pub use bitset::BitSet256;
+pub use dynset::{DynSet, SetIter};
+pub use restable::{ResTable, DENSE_TABLE_MAX};
 pub use time::Time;
+
+/// A set of resources (`ResourceId`s).  The paper's `D`, `TOwned`,
+/// `TRequired`, `CntNeeded`, `TLent` and `missingRes` are all `ResourceSet`s.
+pub type ResourceSet = DynSet;
+
+/// A set of nodes (`NodeId`s).  Used for the visited-node sets carried by
+/// forwarded request messages (paper §4.2.1).
+pub type NodeSet = DynSet;
 
 /// Identifier of a node (process/site).  Nodes are numbered `0..N`.
 ///
@@ -32,7 +48,7 @@ pub type ResourceId = usize;
 /// `(NodeId, RequestId)` uniquely identifies a critical-section request.
 pub type RequestId = u64;
 
-/// Maximum number of nodes and resources supported by the fixed-capacity
-/// bitsets.  The paper evaluates N = 32 processes and M = 80 resources;
-/// 256 leaves ample headroom while keeping [`BitSet256`] `Copy`.
+/// Capacity of the fixed [`BitSet256`] and the inline fast path of
+/// [`DynSet`].  The paper evaluates N = 32 processes and M = 80 resources;
+/// sets whose elements stay below this bound never touch the heap.
 pub const MAX_UNIVERSE: usize = 256;

@@ -1,0 +1,138 @@
+//! Per-resource state tables that scale to 100k+ resources.
+//!
+//! The protocol crates keep per-resource state (token directories, request
+//! counters, lazily created token instances).  At the paper's M = 80 a
+//! dense `Vec` indexed by `ResourceId` is ideal; at M = 100_000 a dense
+//! vector **per node** multiplies out to gigabytes.  [`ResTable`] picks the
+//! representation by universe size: dense `Vec<T>` up to
+//! [`DENSE_TABLE_MAX`] resources (every entry materialized eagerly),
+//! hash-mapped entries above it (entries materialized on first touch).
+//!
+//! The table deliberately exposes **no iteration** over its entries: a
+//! `HashMap` iterates in nondeterministic order, and determinism is the
+//! repo's core invariant.  Protocol logic must address entries by id.
+
+use crate::ResourceId;
+use std::collections::HashMap;
+
+/// Largest universe for which [`ResTable`] materializes a dense vector.
+/// 4096 × a few machine words per entry keeps paper-scale tables flat and
+/// allocation-free after construction while capping eager memory at big M.
+pub const DENSE_TABLE_MAX: usize = 4096;
+
+#[derive(Clone)]
+enum Repr<T> {
+    Dense(Vec<T>),
+    Sparse(HashMap<ResourceId, T>),
+}
+
+/// A map from `ResourceId` in `0..m` to `T`, dense for small `m` and
+/// lazily materialized above [`DENSE_TABLE_MAX`].
+#[derive(Clone)]
+pub struct ResTable<T> {
+    repr: Repr<T>,
+}
+
+impl<T> ResTable<T> {
+    /// Build a table for universe `0..m`, constructing dense entries with
+    /// `mk`.  For sparse tables `mk` is not called here; absent entries are
+    /// built on first [`ResTable::get_or`] touch.
+    pub fn new_with(m: usize, mk: impl FnMut(ResourceId) -> T) -> Self {
+        if m <= DENSE_TABLE_MAX {
+            ResTable {
+                repr: Repr::Dense((0..m).map(mk).collect()),
+            }
+        } else {
+            ResTable {
+                repr: Repr::Sparse(HashMap::new()),
+            }
+        }
+    }
+
+    /// The entry for `r`, if it has been materialized (dense tables always
+    /// have it).  Callers interpret `None` as the entry's default value.
+    #[inline]
+    pub fn get(&self, r: ResourceId) -> Option<&T> {
+        match &self.repr {
+            Repr::Dense(v) => v.get(r),
+            Repr::Sparse(map) => map.get(&r),
+        }
+    }
+
+    /// Mutable access to a materialized entry.
+    #[inline]
+    pub fn get_mut(&mut self, r: ResourceId) -> Option<&mut T> {
+        match &mut self.repr {
+            Repr::Dense(v) => v.get_mut(r),
+            Repr::Sparse(map) => map.get_mut(&r),
+        }
+    }
+
+    /// Mutable access, materializing the entry with `mk` if absent.
+    #[inline]
+    pub fn get_or(&mut self, r: ResourceId, mk: impl FnOnce(ResourceId) -> T) -> &mut T {
+        match &mut self.repr {
+            Repr::Dense(v) => &mut v[r],
+            Repr::Sparse(map) => map.entry(r).or_insert_with(|| mk(r)),
+        }
+    }
+
+    /// Overwrite the entry for `r`, materializing it if absent.
+    #[inline]
+    pub fn set(&mut self, r: ResourceId, val: T) {
+        match &mut self.repr {
+            Repr::Dense(v) => v[r] = val,
+            Repr::Sparse(map) => {
+                map.insert(r, val);
+            }
+        }
+    }
+
+    /// Number of materialized entries (dense: the universe size).
+    pub fn materialized(&self) -> usize {
+        match &self.repr {
+            Repr::Dense(v) => v.len(),
+            Repr::Sparse(map) => map.len(),
+        }
+    }
+
+    /// True if the table uses the dense representation.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, Repr::Dense(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_small_universe() {
+        let mut t: ResTable<u64> = ResTable::new_with(80, |r| r as u64 * 10);
+        assert!(t.is_dense());
+        assert_eq!(t.materialized(), 80);
+        assert_eq!(t.get(7), Some(&70));
+        *t.get_or(7, |_| unreachable!()) += 1;
+        assert_eq!(t.get(7), Some(&71));
+    }
+
+    #[test]
+    fn sparse_big_universe_lazy() {
+        let mut t: ResTable<u64> = ResTable::new_with(100_000, |_| panic!("eager mk in sparse"));
+        assert!(!t.is_dense());
+        assert_eq!(t.materialized(), 0);
+        assert_eq!(t.get(99_999), None);
+        *t.get_or(99_999, |r| r as u64) += 1;
+        assert_eq!(t.get(99_999), Some(&100_000));
+        assert_eq!(t.materialized(), 1);
+        assert_eq!(t.get_mut(5), None);
+    }
+
+    #[test]
+    fn boundary_is_dense() {
+        let t: ResTable<u8> = ResTable::new_with(DENSE_TABLE_MAX, |_| 0);
+        assert!(t.is_dense());
+        let t: ResTable<u8> = ResTable::new_with(DENSE_TABLE_MAX + 1, |_| 0);
+        assert!(!t.is_dense());
+    }
+}

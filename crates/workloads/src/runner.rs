@@ -89,7 +89,7 @@ pub fn run(algo: Algorithm, sc: &Scenario) -> RunResult {
 
 /// Build the fleet, optionally install the fault plan and the reliable
 /// session layer, run, collect.
-fn launch<A: Allocator>(
+fn launch<A: Allocator + Send>(
     nodes: Vec<A>,
     workload_slots: usize,
     sc: &Scenario,

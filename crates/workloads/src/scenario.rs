@@ -68,6 +68,11 @@ pub struct Scenario {
     /// Extension knob — §5.3 attributes the small-request waiting-time
     /// penalty to unevenly requested resources.
     pub skew: f64,
+    /// Simulator shard count: `None` defers to the `MRA_SIM_SHARDS`
+    /// environment variable at [`Scenario::sim_config`] time, `Some(k)`
+    /// pins it.  The results are bit-identical either way — shards only
+    /// change wall-clock time.
+    pub shards: Option<usize>,
 }
 
 impl Scenario {
@@ -85,6 +90,28 @@ impl Scenario {
             .max_request_size(phi)
             .rho(load.rho())
             .seed(seed)
+            .build()
+    }
+
+    /// A scale-out shape far past the paper's testbed: the paper's
+    /// workload parameters (φ = 4, medium load, γ = 0.6 ms LAN) on `n`
+    /// nodes and `m` resources — the sharded-engine scenarios run this at
+    /// 10 000 × 100 000.  The simulated window is deliberately short
+    /// (20 ms warmup, 10 ms measurement, 0.5 s drain): at this node count
+    /// a few simulated milliseconds are already millions of engine events,
+    /// and the short window bounds the per-request record memory.
+    pub fn large(n: usize, m: usize, seed: u64) -> Scenario {
+        Scenario::builder()
+            .nodes(n)
+            .resources(m)
+            .max_request_size(4)
+            .load(Load::Medium)
+            .seed(seed)
+            .window(
+                Time::from_millis(20),
+                Time::from_millis(10),
+                Time::from_millis(500),
+            )
             .build()
     }
 
@@ -109,6 +136,7 @@ impl Scenario {
             drain: self.drain,
             active_nodes: None,
             max_events: 400_000_000,
+            shards: self.shards.unwrap_or_else(SimConfig::env_shards),
         }
     }
 
@@ -144,6 +172,7 @@ impl Default for ScenarioBuilder {
                 policy: SchedulingPolicy::AvgNonZero,
                 loan_threshold: 1,
                 skew: 0.0,
+                shards: None,
             },
         }
     }
@@ -222,6 +251,23 @@ impl ScenarioBuilder {
     /// Set the resource-popularity skew (0 = uniform).
     pub fn skew(mut self, s: f64) -> Self {
         self.sc.skew = s;
+        self
+    }
+
+    /// Pin the simulator shard count (default: the `MRA_SIM_SHARDS`
+    /// environment variable, falling back to 1).
+    pub fn shards(mut self, k: usize) -> Self {
+        self.sc.shards = Some(k);
+        self
+    }
+
+    /// Set the warmup / measurement / drain window explicitly (the
+    /// large-scale scenarios use short windows — at 10 000 nodes even a
+    /// few simulated milliseconds are millions of events).
+    pub fn window(mut self, warmup: Time, measure: Time, drain: Time) -> Self {
+        self.sc.warmup = warmup;
+        self.sc.measure = measure;
+        self.sc.drain = drain;
         self
     }
 

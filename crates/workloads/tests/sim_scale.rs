@@ -1,0 +1,102 @@
+//! Scale smoke for the sharded conservative engine: the paper's workload
+//! at shapes far past its 32 × 80 testbed.
+//!
+//! The headline test (`#[ignore]`, run by the CI `sim-scale` job and by
+//! hand via `cargo test -p mra-workloads --release --test sim_scale --
+//! --ignored`) drives 10 000 nodes × 100 000 resources through LASS with
+//! loan, LASS without loan and Incremental, sequentially and on 4 shards,
+//! and requires the run digests to match **exactly**: the parallel engine
+//! is bit-identical to the sequential one, not merely statistically alike.
+//!
+//! No speedup is asserted anywhere here — CI runners have ~2 cores and
+//! shared tenancy, so a wall-clock assertion would flake.  Throughput
+//! scaling is tracked by `bench_engine` (`MRA_BENCH_BIG=1`) instead.
+
+use mra_sim::RunResult;
+use mra_workloads::{run, Algorithm, Scenario};
+
+/// An order-sensitive digest of everything the simulation produced:
+/// aggregate counters plus an FNV-1a fold over the canonical per-request
+/// records.  Two runs with equal digests made the same requests at the
+/// same nanoseconds and saw the same grants.
+fn digest(r: &RunResult) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut fold = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(FNV_PRIME);
+    };
+    fold(r.cs_completed);
+    fold(r.censored);
+    fold(r.events_processed);
+    fold(r.msgs_total);
+    fold(r.msg_weight);
+    for rec in &r.records {
+        fold(rec.node as u64);
+        fold(rec.size as u64);
+        fold(rec.issued.as_nanos());
+        fold(rec.granted.map_or(u64::MAX, |t| t.as_nanos()));
+        fold(rec.released.map_or(u64::MAX, |t| t.as_nanos()));
+    }
+    h
+}
+
+fn run_at(algo: Algorithm, n: usize, m: usize, shards: usize) -> RunResult {
+    let mut sc = Scenario::large(n, m, 7);
+    sc.shards = Some(shards);
+    run(algo, &sc)
+}
+
+/// Mid-scale parity in the ordinary suite: big enough that shards matter
+/// (hundreds of nodes per shard), small enough for a debug-build test run.
+#[test]
+fn mid_scale_digest_parity_1_vs_3_shards() {
+    let seq = run_at(Algorithm::LassLoan, 300, 3_000, 1);
+    assert!(seq.cs_completed > 0, "mid-scale run did no work");
+    let par = run_at(Algorithm::LassLoan, 300, 3_000, 3);
+    assert_eq!(par.shards, 3);
+    assert_eq!(
+        digest(&seq),
+        digest(&par),
+        "sharded run diverged from sequential at 300 nodes"
+    );
+}
+
+/// The acceptance shape: 10 000 nodes, 100 000 resources, φ = 4, medium
+/// load, on the three algorithms that scale (the broadcast and
+/// control-token baselines are O(n) or O(m) per message and are not part
+/// of the scale story).  Digests must match between 1 and 4 shards.
+#[test]
+#[ignore = "large: ~10^7-10^8 events per run; CI runs it in the release-mode sim-scale job"]
+fn ten_thousand_nodes_digest_parity_1_vs_4_shards() {
+    for algo in [
+        Algorithm::LassLoan,
+        Algorithm::LassNoLoan,
+        Algorithm::Incremental,
+    ] {
+        let started = std::time::Instant::now();
+        let seq = run_at(algo, 10_000, 100_000, 1);
+        assert!(
+            seq.cs_completed > 1_000,
+            "{algo:?} did almost no work at 10k nodes: {} cs",
+            seq.cs_completed
+        );
+        let par = run_at(algo, 10_000, 100_000, 4);
+        assert_eq!(par.shards, 4);
+        assert_eq!(par.shard_events.len(), 4);
+        assert_eq!(par.shard_events.iter().sum::<u64>(), par.events_processed);
+        assert_eq!(
+            digest(&seq),
+            digest(&par),
+            "sharded run diverged from sequential for {algo:?}"
+        );
+        println!(
+            "{algo:?}: {} events, {} cs, digest {:#018x}, {:.1}s for both runs",
+            seq.events_processed,
+            seq.cs_completed,
+            digest(&seq),
+            started.elapsed().as_secs_f64()
+        );
+    }
+}

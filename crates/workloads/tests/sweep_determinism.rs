@@ -1,10 +1,13 @@
 //! Determinism is the repo's core invariant (see `deterministic_given_seed`
-//! in `mra-sim`): the parallel sweep executor must not bend it.  A sweep
-//! run with `MRA_THREADS=4` must produce **byte-identical** table and CSV
-//! output to `MRA_THREADS=1`.
+//! in `mra-sim`): neither layer of parallelism may bend it.  A sweep run
+//! with `MRA_THREADS=4` must produce **byte-identical** table and CSV
+//! output to `MRA_THREADS=1`, and so must a sweep whose *simulator engine*
+//! runs sharded (`MRA_SIM_SHARDS=2`) — the conservative windowed engine is
+//! bit-identical to the sequential one, so even the rendered artifacts
+//! cannot tell the layouts apart.
 //!
-//! Both tests live in one function so the `MRA_THREADS` environment
-//! mutation cannot race another test in this binary.
+//! Everything lives in one function so the environment mutations cannot
+//! race another test in this binary.
 
 use mra_workloads::experiments::{
     fig5, fig5_tables, fig6, fig6_table, fig_faults, fig_faults_csv, fig_faults_table,
@@ -58,6 +61,27 @@ fn mra_threads_4_is_byte_identical_to_mra_threads_1() {
     let fig6_par = fig6_table(&fig6(&[Load::Medium, Load::High], 42, 0.3)).render();
     let (faults_tbl_par, faults_csv_par) = fig_faults_artifacts(42);
     std::env::remove_var("MRA_THREADS");
+
+    // Through the real `MRA_SIM_SHARDS` plumbing: scenarios without a
+    // pinned shard count read the variable at sim-config time, so this
+    // sweep runs every simulation on the two-shard windowed engine.
+    std::env::set_var("MRA_SIM_SHARDS", "2");
+    let (tables_sharded, csv_sharded) = fig5_artifacts(42);
+    let (faults_tbl_sharded, faults_csv_sharded) = fig_faults_artifacts(42);
+    std::env::remove_var("MRA_SIM_SHARDS");
+    assert_eq!(
+        tables_seq, tables_sharded,
+        "fig5 tables diverged on the sharded engine"
+    );
+    assert_eq!(csv_seq, csv_sharded, "fig5 CSV diverged on the sharded engine");
+    assert_eq!(
+        faults_tbl_seq, faults_tbl_sharded,
+        "fig_faults table diverged on the sharded engine"
+    );
+    assert_eq!(
+        faults_csv_seq, faults_csv_sharded,
+        "fig_faults CSV diverged on the sharded engine"
+    );
 
     assert_eq!(tables_seq, tables_par, "fig5 tables diverged across thread counts");
     assert_eq!(csv_seq, csv_par, "fig5 CSV diverged across thread counts");

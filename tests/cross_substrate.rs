@@ -138,6 +138,7 @@ where
             drain: Time::from_secs(60),
             active_nodes: active,
             max_events: 200_000_000,
+            shards: 1,
         };
         let mut sim = Sim::new(build(), workloads, M, cfg);
         sim.set_fault_plan(FaultPlan::new(SEED));
