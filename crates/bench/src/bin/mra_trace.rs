@@ -1,0 +1,172 @@
+//! `mra-trace` — offline trace analyzer for the observability layer.
+//!
+//! Three modes:
+//!
+//! * `mra-trace FILE.jsonl` — parse a JSONL trace (written via
+//!   `MRA_TRACE_FILE`), run the causal-consistency checks and print the
+//!   per-message-type cost breakdown.
+//! * `mra-trace --check FILE.jsonl` — same checks, CI-friendly: exit 1 on
+//!   any causal violation (the breakdown still prints).
+//! * `mra-trace --reconcile` — run a small traced workload in-process for
+//!   every algorithm of the fault matrix on perfect links and verify that
+//!   the trace's per-tag delivery counts reconcile **exactly** with the
+//!   engine's aggregate `msg_by_kind` collector (both count at delivery).
+//!   Exit 1 on any mismatch.  This is the end-to-end proof that the trace
+//!   is a faithful account of the run, not a parallel bookkeeping system
+//!   that can drift.
+//!
+//! Checks on ring-truncated traces (`dropped > 0` in the header) skip the
+//! positional send-before-recv and conservation passes — the overwritten
+//! prefix would make them spuriously fail; Lamport monotonicity and
+//! causal-recv still run.
+
+use mra_sim::obs::{check_events, message_breakdown, parse_jsonl};
+use mra_workloads::{run, Algorithm, Load, Scenario};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+mra-trace: causal-consistency checker and message-cost breakdown
+
+USAGE:
+    mra-trace [--check] FILE.jsonl    analyze a trace written via MRA_TRACE_FILE
+    mra-trace --reconcile             traced in-process runs, per algorithm:
+                                      trace breakdown must equal engine counters
+
+EXIT STATUS:
+    0   trace consistent (and reconciled, in --reconcile mode)
+    1   causal violations or counter mismatch
+    2   usage / parse error
+";
+
+fn analyze_file(path: &str, strict: bool) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("mra-trace: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let trace = match parse_jsonl(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("mra-trace: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "{path}: algo={} n={} m={} events={} dropped={}",
+        trace.algo,
+        trace.n,
+        trace.m,
+        trace.events.len(),
+        trace.dropped
+    );
+    let rep = check_events(&trace.events, trace.dropped);
+    if rep.full {
+        println!("checks: full (send-before-recv, lamport, causal-recv, conservation)");
+    } else {
+        println!("checks: partial (ring-truncated trace: lamport + causal-recv only)");
+    }
+    println!("{}", message_breakdown(&trace.events).render());
+    if rep.ok() {
+        println!("causal consistency: OK ({} events)", rep.events);
+        ExitCode::SUCCESS
+    } else {
+        println!("causal consistency: {} violation(s)", rep.violations);
+        for d in &rep.details {
+            println!("  {d}");
+        }
+        if strict {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// Run one traced perfect-link scenario per algorithm and diff the trace's
+/// per-tag delivery counts against the engine's `msg_by_kind` aggregate.
+fn reconcile() -> ExitCode {
+    // Arm unbounded tracing for the child runs of this process; perfect
+    // links (no fault plan) so nothing is dropped or retransmitted and the
+    // two counters must agree to the message.
+    std::env::set_var("MRA_TRACE", "on");
+    let mut failures = 0u32;
+    for algo in Algorithm::fault_set() {
+        let sc = Scenario::builder()
+            .nodes(6)
+            .resources(12)
+            .max_request_size(3)
+            .load(Load::High)
+            .seed(7)
+            .measure_secs(0.3)
+            .build();
+        let res = run(algo, &sc);
+        let trace = match &res.obs.trace {
+            Some(t) => t,
+            None => {
+                println!("{:<28} FAIL: no trace captured", algo.label());
+                failures += 1;
+                continue;
+            }
+        };
+        let events = trace.to_owned_events();
+        let rep = check_events(&events, trace.dropped);
+        let b = message_breakdown(&events);
+        // The engine counts at delivery, alongside the recv trace hook:
+        // equal multisets of (tag, count) — and equal totals — or bust.
+        let mut engine: Vec<(String, u64)> =
+            res.msg_by_kind.iter().map(|(k, c)| (k.to_string(), *c)).collect();
+        engine.sort();
+        let traced: Vec<(String, u64)> =
+            b.by_tag.iter().map(|(t, c, _)| (t.clone(), *c)).collect();
+        let counts_ok = engine == traced && b.recvs == res.msgs_total;
+        if counts_ok && rep.ok() {
+            println!(
+                "{:<28} OK: {} deliveries over {} tags reconcile; {} events causally consistent",
+                algo.label(),
+                b.recvs,
+                b.by_tag.len(),
+                rep.events
+            );
+        } else {
+            failures += 1;
+            println!("{:<28} FAIL", algo.label());
+            if !rep.ok() {
+                println!("  {} causal violation(s): {:?}", rep.violations, rep.details);
+            }
+            if !counts_ok {
+                println!("  engine msg_by_kind: {engine:?} (total {})", res.msgs_total);
+                println!("  trace  deliveries:  {traced:?} (total {})", b.recvs);
+            }
+        }
+    }
+    std::env::remove_var("MRA_TRACE");
+    if failures == 0 {
+        println!("reconcile: all algorithms consistent");
+        ExitCode::SUCCESS
+    } else {
+        println!("reconcile: {failures} algorithm(s) FAILED");
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strict = args.iter().any(|a| a == "--check");
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--reconcile") {
+        return reconcile();
+    }
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    match files.as_slice() {
+        [path] => analyze_file(path, strict),
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

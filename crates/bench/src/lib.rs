@@ -60,6 +60,13 @@ pub struct EngineBenchEntry {
     pub shards: usize,
     /// Events processed per shard; sums to `events`.
     pub shard_events: Vec<u64>,
+    /// Wall-clock cost of armed ring tracing (`MRA_TRACE=ring`) relative
+    /// to the disarmed run, in percent: `100 × (armed − disarmed) /
+    /// disarmed`.  Negative values are measurement noise.  `NaN` (written
+    /// as `0.0`, like every non-finite value in this file) on entries
+    /// where the overhead pass was skipped — the scale-out grid runs are
+    /// minutes each and are not re-run armed.
+    pub trace_overhead_pct: f64,
 }
 
 /// Serialize `entries` as `BENCH_engine.json` at the repo root (the
@@ -99,7 +106,8 @@ pub fn write_bench_engine_json(
         out.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"algo\": \"{}\", \"events\": {}, \
              \"wall_ns\": {}, \"wall_secs\": {}, \"events_per_sec\": {}, \
-             \"cs_completed\": {}, \"shards\": {}, \"shard_events\": [{}]}}{}\n",
+             \"cs_completed\": {}, \"shards\": {}, \"shard_events\": [{}], \
+             \"trace_overhead_pct\": {}}}{}\n",
             esc(&e.scenario),
             esc(&e.algo),
             e.events,
@@ -109,6 +117,7 @@ pub fn write_bench_engine_json(
             e.cs_completed,
             e.shards,
             shard_events,
+            num(e.trace_overhead_pct, 2),
             if i + 1 < entries.len() { "," } else { "" },
         ));
     }

@@ -49,6 +49,9 @@ OPTIONS:
   --solo             run a single node instead of a loopback cluster
   --id I             this node's id (solo mode)
   --peers LIST       comma-separated host:port per node id (solo mode)
+  --metrics          dump each node's transport counters (frames/bytes per
+                     direction and kind, retransmissions, RTO fires) to
+                     stderr on shutdown
   --help             print this help
 
 ENVIRONMENT:
@@ -61,6 +64,13 @@ ENVIRONMENT:
                      cumulative acks and timer-driven retransmission turn
                      MRA_LOSS drops into latency instead of lost liveness
   MRA_RTO_MS=T       initial retransmission timeout in ms (default 10)
+  MRA_METRICS=1      same as --metrics
+  MRA_TRACE=MODE     arm causal tracing in the node loops (per-node event
+                     ordering and counters; the TCP wire does not carry
+                     Lamport stamps) -- '0' off, 'ring'/'ring:N' bounded,
+                     anything else unbounded
+  MRA_TRACE_FILE=F   write the merged trace as JSONL to F (implies
+                     MRA_TRACE) -- analyze with mra-trace
 ";
 
 #[derive(Clone, Debug)]
@@ -77,6 +87,7 @@ struct Opts {
     solo: bool,
     id: usize,
     peers: Option<String>,
+    metrics: bool,
 }
 
 impl Default for Opts {
@@ -94,6 +105,7 @@ impl Default for Opts {
             solo: false,
             id: 0,
             peers: None,
+            metrics: false,
         }
     }
 }
@@ -124,6 +136,7 @@ fn parse_opts() -> Opts {
             "--solo" => opts.solo = true,
             "--id" => opts.id = parse_num(&val("--id"), "--id"),
             "--peers" => opts.peers = Some(val("--peers")),
+            "--metrics" => opts.metrics = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -136,6 +149,11 @@ fn parse_opts() -> Opts {
     }
     if opts.size == 0 || opts.size > opts.resources {
         die("--size must be in 1..=resources");
+    }
+    // MRA_METRICS=1 is the flag's environment twin (handy when the
+    // command line is owned by a harness).
+    if std::env::var("MRA_METRICS").is_ok_and(|v| v == "1") {
+        opts.metrics = true;
     }
     opts
 }
@@ -215,6 +233,7 @@ where
                 connect_timeout: Duration::from_secs(30),
                 faults,
                 reliability,
+                metrics: opts.metrics,
             },
         )
         .unwrap_or_else(|e| die(&format!("transport setup failed: {e}")))
@@ -231,6 +250,7 @@ where
                 active_nodes: Some(active),
                 faults,
                 reliability,
+                metrics: opts.metrics,
             },
         )
     }
@@ -251,11 +271,13 @@ fn print_result(res: &RunResult, opts: &Opts) {
         res.msg_weight
     );
     println!(
-        "wait_ms: mean={} std={} median={} p95={} (n={})",
+        "wait_ms: mean={} std={} median={} p95={} p99={} p999={} (n={})",
         WaitStats::cell(w.mean_ms, 3),
         WaitStats::cell(w.std_ms, 3),
         WaitStats::cell(w.median_ms, 3),
         WaitStats::cell(w.p95_ms, 3),
+        WaitStats::cell(w.p99_ms, 3),
+        WaitStats::cell(w.p999_ms, 3),
         w.count
     );
     println!("use_rate={:.1}%", 100.0 * res.use_rate());
@@ -279,6 +301,17 @@ fn main() {
         other => die(&format!("unknown algorithm {other:?}")),
     };
     print_result(&res, &opts);
+    // MRA_TRACE_FILE: persist the merged trace (armed automatically by
+    // RunShared when the knob is set).  TCP frames carry no Lamport
+    // stamps, so the trace has per-node ordering and counters only.
+    if let (Some(path), Some(trace)) =
+        (mra_obs::trace_file_from_env(), res.obs.trace.as_ref())
+    {
+        match mra_obs::write_jsonl_file(&path, trace, &res.algo, res.n, res.m) {
+            Ok(()) => eprintln!("mra-node: trace written to {path}"),
+            Err(e) => eprintln!("mra-node: writing trace to {path} failed: {e}"),
+        }
+    }
     // The run is quota-based: anything short of the quota is a liveness
     // failure worth a non-zero exit.
     let expected = if opts.solo {

@@ -50,6 +50,9 @@ pub struct TcpClusterConfig {
     /// around the frame codec, restoring exactly-once FIFO delivery under
     /// a lossy `faults` shim.
     pub reliability: Option<Reliability>,
+    /// Per-node transport counter dump to stderr when each port shuts
+    /// down (see [`MeshConfig::metrics`]).
+    pub metrics: bool,
 }
 
 impl TcpClusterConfig {
@@ -62,6 +65,7 @@ impl TcpClusterConfig {
             active_nodes: None,
             faults: None,
             reliability: None,
+            metrics: false,
         }
     }
 }
@@ -112,6 +116,7 @@ where
         connect_timeout: Duration::from_secs(10),
         faults: cfg.faults.clone(),
         reliability: cfg.reliability,
+        metrics: cfg.metrics,
     };
 
     let algo = protos[0].name().to_string();
@@ -155,6 +160,7 @@ where
     let end = shared.now();
     let shared = Arc::try_unwrap(shared)
         .unwrap_or_else(|_| panic!("thread leaked a RunShared reference"));
+    let obs = shared.finish_obs();
     // Post-run conservation: every node finished outside its CS, so the
     // holder table must be empty — a leak here means a grant/release pair
     // corrupted it (the monitor's exit check is a hard assert in release
@@ -166,11 +172,13 @@ where
     assert_eq!(monitor.concurrency(), 0, "node left inside CS after the run");
     assert_eq!(monitor.held_resources(), 0, "resources leaked after the run");
     monitor.assert_conservation();
-    shared
+    let mut res = shared
         .collector
         .into_inner()
         .unwrap_or_else(|e| e.into_inner())
-        .finish(&algo, n, end)
+        .finish(&algo, n, end);
+    res.obs = obs;
+    res
 }
 
 /// Configuration of one standalone node in a multi-process cluster.
@@ -195,6 +203,9 @@ pub struct SoloConfig {
     /// every process must enable it for the session framing to be
     /// coherent (`MRA_RELIABLE=1` across the cluster).
     pub reliability: Option<Reliability>,
+    /// Transport counter dump to stderr when the port shuts down (see
+    /// [`MeshConfig::metrics`]; `mra-node --metrics` / `MRA_METRICS=1`).
+    pub metrics: bool,
 }
 
 /// Run node `me` of a multi-process cluster on the current thread,
@@ -237,6 +248,7 @@ where
             connect_timeout: cfg.connect_timeout,
             faults: cfg.faults.clone(),
             reliability: cfg.reliability,
+            metrics: cfg.metrics,
         },
     )?;
     let node_cfg = NodeCfg {
@@ -247,11 +259,14 @@ where
     drive_node(me, n, proto, workload, port, &shared, node_cfg);
 
     let end = shared.now();
-    Ok(shared
+    let obs = shared.finish_obs();
+    let mut res = shared
         .collector
         .into_inner()
         .unwrap_or_else(|e| e.into_inner())
-        .finish(&algo, n, end))
+        .finish(&algo, n, end);
+    res.obs = obs;
+    Ok(res)
 }
 
 #[cfg(test)]
@@ -408,6 +423,7 @@ mod tests {
                         connect_timeout: Duration::from_secs(10),
                         faults: None,
                         reliability: None,
+                        metrics: false,
                     },
                 )
                 .expect("solo node run")

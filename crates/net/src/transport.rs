@@ -24,8 +24,9 @@
 
 use crate::frame::{
     begin_frame, end_frame, read_frame, read_handshake, split_rack, split_rdata, write_frame,
-    write_handshake, TAG_DONE, TAG_MSG, TAG_RACK, TAG_RDATA, TAG_SHUTDOWN,
+    write_handshake, HEADER, TAG_DONE, TAG_MSG, TAG_RACK, TAG_RDATA, TAG_SHUTDOWN,
 };
+use mra_obs::NetCounters;
 use mra_protocol::faults::{FaultPlan, FrameFate, LinkFilter};
 use mra_protocol::reliable::{Reliability, RtoVerdict, RxSession, RxVerdict, TxSession};
 use mra_protocol::WireCodec;
@@ -33,7 +34,7 @@ use mra_sim::{NodePort, PortEvent};
 use mra_types::{NodeId, Time};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -129,6 +130,15 @@ enum Inbound<M> {
     Shutdown,
 }
 
+/// Inbound frame tallies, bumped by the reader threads and folded into the
+/// port's [`NetCounters`] snapshot by [`TcpPort::counters`].  Relaxed
+/// ordering suffices: the values are statistics, read after the run.
+#[derive(Debug, Default)]
+struct RxCounters {
+    frames_in: AtomicU64,
+    bytes_in: AtomicU64,
+}
+
 /// Per-port session state (reliability on): one [`TxSession`]/[`RxSession`]
 /// pair per peer plus the per-peer retransmit deadline.  Wall-clock
 /// instants are mapped onto the session layer's [`mra_types::Time`] axis
@@ -175,12 +185,43 @@ pub struct TcpPort<M> {
     buf: Vec<u8>,
     /// Reliable-session state, when [`MeshConfig::reliability`] is set.
     sess: Option<TcpSessions<M>>,
+    /// Outbound-side transport tallies (frames/bytes by direction, frame
+    /// kind, retransmissions, RTO fires).  Inbound lives in `rx_counters`.
+    counters: NetCounters,
+    /// Inbound tallies shared with the reader threads.
+    rx_counters: Arc<RxCounters>,
+    /// Dump [`TcpPort::counters`] to stderr when the port drops
+    /// ([`MeshConfig::metrics`], `--metrics` / `MRA_METRICS=1`).
+    metrics: bool,
+}
+
+impl<M> TcpPort<M> {
+    /// Snapshot of this port's transport counters, with the reader
+    /// threads' inbound tallies folded in.  Byte counts are on-wire frame
+    /// sizes (header included).
+    pub fn counters(&self) -> NetCounters {
+        let mut c = self.counters.clone();
+        c.frames_in = self.rx_counters.frames_in.load(Ordering::Relaxed);
+        c.bytes_in = self.rx_counters.bytes_in.load(Ordering::Relaxed);
+        c
+    }
+}
+
+impl<M> Drop for TcpPort<M> {
+    fn drop(&mut self) {
+        if self.metrics {
+            eprintln!("{}", self.counters().render(self.me));
+        }
+    }
 }
 
 impl<M: Clone> TcpPort<M> {
     fn broadcast_shutdown(&mut self) {
         for w in self.writers.iter_mut().flatten() {
             let _ = write_frame(w, TAG_SHUTDOWN, &[]);
+            self.counters.frames_out += 1;
+            self.counters.bytes_out += HEADER as u64;
+            self.counters.by_kind.bump("Shutdown", 1);
         }
     }
 
@@ -188,6 +229,9 @@ impl<M: Clone> TcpPort<M> {
     fn write_rack(&mut self, peer: NodeId, ack: u64) {
         if let Some(w) = self.writers[peer].as_mut() {
             let _ = write_frame(w, TAG_RACK, &ack.to_le_bytes());
+            self.counters.frames_out += 1;
+            self.counters.bytes_out += (HEADER + 8) as u64;
+            self.counters.by_kind.bump("RAck", 1);
         }
     }
 
@@ -195,8 +239,12 @@ impl<M: Clone> TcpPort<M> {
     /// control frame that did not end the run).
     fn translate(&mut self, inb: Inbound<M>) -> Option<PortEvent<M>> {
         match inb {
+            // The TCP wire format predates tracing and does not carry
+            // Lamport stamps: delivered events carry stamp 0 (the tracer
+            // then has per-node ordering and counters, no cross-node
+            // edges).  See DESIGN.md §11.
             Inbound::Msg { from, deliver_at, msg } => {
-                Some(PortEvent::Msg { from, deliver_at, msg })
+                Some(PortEvent::Msg { from, deliver_at, stamp: 0, msg })
             }
             Inbound::Data { from, deliver_at, seq, ack, msg } => {
                 let s = self.sess.as_mut().expect("rdata without reliability");
@@ -212,7 +260,9 @@ impl<M: Clone> TcpPort<M> {
                 // frame we send additionally piggybacks the same value.)
                 self.write_rack(from, cum);
                 match verdict {
-                    RxVerdict::Deliver => Some(PortEvent::Msg { from, deliver_at, msg }),
+                    RxVerdict::Deliver => {
+                        Some(PortEvent::Msg { from, deliver_at, stamp: 0, msg })
+                    }
                     RxVerdict::Stale | RxVerdict::Gap => None,
                 }
             }
@@ -264,6 +314,7 @@ impl<M: Clone> TcpPort<M> {
                 RtoVerdict::Idle => *dl = None,
                 RtoVerdict::Rearm(at) => *dl = Some(*epoch + at.to_std()),
                 RtoVerdict::Retransmit(_) => {
+                    self.counters.rto_fires += 1;
                     let ack = rx[peer].cum();
                     if let Some(w) = self.writers[peer].as_mut() {
                         for (seq, msg) in tx[peer].unacked() {
@@ -273,6 +324,10 @@ impl<M: Clone> TcpPort<M> {
                             msg.encode(&mut self.buf);
                             end_frame(&mut self.buf, TAG_RDATA);
                             let _ = io::Write::write_all(w, &self.buf);
+                            self.counters.retransmit_frames += 1;
+                            self.counters.frames_out += 1;
+                            self.counters.bytes_out += self.buf.len() as u64;
+                            self.counters.by_kind.bump("RData", 1);
                         }
                     }
                     *dl = Some(wall + tx[peer].rto_delay(cfg).to_std());
@@ -325,12 +380,14 @@ impl<M: Clone> TcpPort<M> {
 }
 
 impl<M: WireCodec + Clone + Send> NodePort<M> for TcpPort<M> {
-    fn send(&mut self, to: NodeId, msg: M) {
+    // `_stamp` is minted by the runtime's tracer but the wire format does
+    // not carry it — receivers deliver stamp 0 (see `translate`).
+    fn send(&mut self, to: NodeId, msg: M, _stamp: u64) {
         begin_frame(&mut self.buf);
-        let tag = match self.sess.as_mut() {
+        let (tag, label) = match self.sess.as_mut() {
             None => {
                 msg.encode(&mut self.buf);
-                TAG_MSG
+                (TAG_MSG, "Msg")
             }
             Some(s) => {
                 // Session mode: sequence the frame, retain the retransmit
@@ -345,13 +402,16 @@ impl<M: WireCodec + Clone + Send> NodePort<M> for TcpPort<M> {
                 if s.deadline[to].is_none() {
                     s.deadline[to] = Some(Instant::now() + s.tx[to].rto_delay(&s.cfg).to_std());
                 }
-                TAG_RDATA
+                (TAG_RDATA, "RData")
             }
         };
         end_frame(&mut self.buf, tag);
         if let Some(w) = self.writers[to].as_mut() {
             // Failures mean the peer is past shutdown; the run is over.
             let _ = io::Write::write_all(w, &self.buf);
+            self.counters.frames_out += 1;
+            self.counters.bytes_out += self.buf.len() as u64;
+            self.counters.by_kind.bump(label, 1);
         }
     }
 
@@ -399,6 +459,9 @@ impl<M: WireCodec + Clone + Send> NodePort<M> for TcpPort<M> {
             Act::ReportDone => {
                 if let Some(w) = self.writers[0].as_mut() {
                     let _ = write_frame(w, TAG_DONE, &[]);
+                    self.counters.frames_out += 1;
+                    self.counters.bytes_out += HEADER as u64;
+                    self.counters.by_kind.bump("Done", 1);
                 }
                 false
             }
@@ -443,6 +506,10 @@ pub struct MeshConfig {
     /// into lost liveness.  `MRA_RELIABLE` / `MRA_RTO_MS` feed this in the
     /// `mra-node` binary.
     pub reliability: Option<Reliability>,
+    /// Dump the port's [`NetCounters`] (frames/bytes per direction and
+    /// kind, retransmissions, RTO fires) to stderr when the port drops.
+    /// Fed by `mra-node --metrics` / `MRA_METRICS=1`.
+    pub metrics: bool,
 }
 
 impl Default for MeshConfig {
@@ -452,6 +519,7 @@ impl Default for MeshConfig {
             connect_timeout: Duration::from_secs(10),
             faults: None,
             reliability: None,
+            metrics: false,
         }
     }
 }
@@ -512,6 +580,7 @@ where
     let (tx, rx) = mpsc::channel::<Inbound<M>>();
     let extra = cfg.extra_latency.to_std();
     let reliable = cfg.reliability.is_some();
+    let rx_counters = Arc::new(RxCounters::default());
     for _ in 0..n - 1 {
         let (mut stream, _) = listener.accept()?;
         stream.set_nodelay(true)?;
@@ -521,9 +590,10 @@ where
             .faults
             .as_ref()
             .map(|plan| LinkFilter::new(plan, from, me, n));
+        let tallies = Arc::clone(&rx_counters);
         std::thread::Builder::new()
             .name(format!("mra-net-rx-{me}-from-{from}"))
-            .spawn(move || reader_loop::<M>(stream, from, tx, extra, filter, reliable))
+            .spawn(move || reader_loop::<M>(stream, from, tx, extra, filter, reliable, tallies))
             .expect("spawn reader thread");
     }
 
@@ -534,6 +604,9 @@ where
         ctrl,
         buf: Vec::with_capacity(256),
         sess: cfg.reliability.map(|r| TcpSessions::new(r, n)),
+        counters: NetCounters::default(),
+        rx_counters,
+        metrics: cfg.metrics,
     })
 }
 
@@ -550,13 +623,22 @@ fn reader_loop<M: WireCodec + Clone>(
     extra_latency: Duration,
     mut filter: Option<LinkFilter>,
     reliable: bool,
+    tallies: Arc<RxCounters>,
 ) {
     let mut scratch = Vec::with_capacity(256);
     loop {
         // One filter verdict per frame (data *and* ack frames: an ack can
         // be lost or duplicated on a real wire just like data).
         let mut fate = FrameFate::Deliver;
-        let event = match read_frame(&mut stream, &mut scratch) {
+        let got = read_frame(&mut stream, &mut scratch);
+        if got.is_ok() {
+            // Every decodable frame counts, *before* the fault filter —
+            // these tallies describe the wire, not the delivery outcome.
+            // On-wire size = 4-byte length prefix + body (tag + payload).
+            tallies.frames_in.fetch_add(1, Ordering::Relaxed);
+            tallies.bytes_in.fetch_add(scratch.len() as u64 + 4, Ordering::Relaxed);
+        }
+        let event = match got {
             Ok(TAG_MSG) if !reliable => match M::from_bytes(&scratch[1..]) {
                 Ok(msg) => {
                     if let Some(f) = filter.as_mut() {
@@ -721,7 +803,7 @@ mod tests {
                 MeshConfig::default(),
             )
             .unwrap();
-            p0.send(1, 0xDEAD_BEEF);
+            p0.send(1, 0xDEAD_BEEF, 0);
             match p0.recv() {
                 PortEvent::Msg { from, msg, .. } => {
                     assert_eq!((from, msg), (1, 7));
@@ -737,7 +819,7 @@ mod tests {
             MeshConfig::default(),
         )
         .unwrap();
-        p1.send(0, 7);
+        p1.send(0, 7, 0);
         match p1.recv() {
             PortEvent::Msg { from, msg, .. } => assert_eq!((from, msg), (0, 0xDEAD_BEEF)),
             _ => panic!("expected message"),
@@ -775,7 +857,7 @@ mod tests {
             let mut p0: TcpPort<u64> =
                 connect_mesh(0, l0, &d0, PortCtrl::Cluster(r0), cfg0).unwrap();
             for k in 0..FRAMES {
-                p0.send(1, k);
+                p0.send(1, k, 0);
             }
             // Dropping p0 closes the stream; the peer's reader sees EOF.
         });
@@ -830,7 +912,7 @@ mod tests {
             let mut p0: TcpPort<u64> =
                 connect_mesh(0, l0, &d0, PortCtrl::Cluster(r0), cfg0).unwrap();
             for k in 0..FRAMES {
-                p0.send(1, k);
+                p0.send(1, k, 0);
             }
             // Keep pumping: retransmit timers fire inside the recv loop
             // until the peer confirms full receipt with one reliable
@@ -869,7 +951,7 @@ mod tests {
         }
         // Exactly once, in order — the session contract.
         assert_eq!(got, (0..FRAMES).collect::<Vec<u64>>());
-        p1.send(0, u64::MAX);
+        p1.send(0, u64::MAX, 0);
         // Serve the confirmation's retransmissions until the peer is done.
         let handoff = Instant::now() + Duration::from_secs(5);
         while Instant::now() < handoff && !t.is_finished() {

@@ -1,0 +1,123 @@
+//! Trace event model: the compact per-event record every substrate emits.
+//!
+//! Events are `Copy` and fixed-size — a [`TraceEvent`] is what sits in the
+//! pre-sized ring sink, so it must not own heap memory.  Message-type tags
+//! are `&'static str` (protocol `kind()` names are static already); the
+//! owned variant [`OwnedEvent`] exists only on the analysis side, after
+//! parsing JSONL back in.
+
+/// Peer field value for events that have no peer (cs-request/enter/exit).
+pub const NO_PEER: u32 = u32::MAX;
+
+/// What happened.  The wire labels (JSONL `"k"` field) are the kebab-case
+/// strings from [`EventKind::label`]; [`EventKind::parse`] is the inverse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// A protocol message left `node` for `peer` (first transmission only).
+    Send,
+    /// A protocol message from `peer` was delivered to `node`.
+    Recv,
+    /// `node` issued a request for a resource set (`weight` = set size).
+    CsRequest,
+    /// `node` entered its critical section (`weight` = set size).
+    CsEnter,
+    /// `node` left its critical section.
+    CsExit,
+    /// The reliable session layer re-sent a frame from `node` to `peer`.
+    Retransmit,
+    /// The fault plan dropped a delivery from `peer` to `node`.
+    FaultVerdict,
+}
+
+impl EventKind {
+    /// Stable wire label, used in JSONL and human output.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Send => "send",
+            EventKind::Recv => "recv",
+            EventKind::CsRequest => "cs-request",
+            EventKind::CsEnter => "cs-enter",
+            EventKind::CsExit => "cs-exit",
+            EventKind::Retransmit => "retransmit",
+            EventKind::FaultVerdict => "fault-verdict",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label); `None` for unknown strings.
+    pub fn parse(s: &str) -> Option<EventKind> {
+        Some(match s {
+            "send" => EventKind::Send,
+            "recv" => EventKind::Recv,
+            "cs-request" => EventKind::CsRequest,
+            "cs-enter" => EventKind::CsEnter,
+            "cs-exit" => EventKind::CsExit,
+            "retransmit" => EventKind::Retransmit,
+            "fault-verdict" => EventKind::FaultVerdict,
+            _ => return None,
+        })
+    }
+}
+
+/// One trace event.  `node` is where the event happened; `peer` is the
+/// other endpoint for message events ([`NO_PEER`] otherwise).
+///
+/// * `lamport` — the emitting node's Lamport clock *after* this event
+///   (every traced event ticks the clock; recv joins with `cause` first).
+/// * `cause` — for `Recv`/`FaultVerdict`: the Lamport stamp the message
+///   carried from its send; for `Send`/`Retransmit`: equal to `lamport`
+///   (the stamp the frame carries on the wire); 0 elsewhere.
+/// * `weight` — message weight in bytes for message events, resource-set
+///   size for cs events, 0 otherwise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub kind: EventKind,
+    pub node: u32,
+    pub peer: u32,
+    /// Message-type tag (`Msg::kind()`), `""` for non-message events.
+    pub tag: &'static str,
+    pub lamport: u64,
+    pub cause: u64,
+    pub weight: u32,
+}
+
+/// A parsed-back event: same shape as [`TraceEvent`] plus the engine
+/// ordering key it was recorded under, with the tag owned (the analyzer
+/// reads JSONL produced by another process, so no `&'static` tags there).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OwnedEvent {
+    pub kind: EventKind,
+    /// Engine time in nanoseconds (sim time, or ns since run epoch).
+    pub at_nanos: u64,
+    /// Engine dispatch ordinal (lane ord in the sim; 0 elsewhere).
+    pub ord: u64,
+    /// Emission sequence within one (at, ord) dispatch.
+    pub seq: u32,
+    pub node: u32,
+    pub peer: u32,
+    pub tag: String,
+    pub lamport: u64,
+    pub cause: u64,
+    pub weight: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        let all = [
+            EventKind::Send,
+            EventKind::Recv,
+            EventKind::CsRequest,
+            EventKind::CsEnter,
+            EventKind::CsExit,
+            EventKind::Retransmit,
+            EventKind::FaultVerdict,
+        ];
+        for k in all {
+            assert_eq!(EventKind::parse(k.label()), Some(k));
+        }
+        assert_eq!(EventKind::parse("bogus"), None);
+    }
+}

@@ -1,0 +1,150 @@
+//! Transport-level counters: the live-metrics registry the TCP port (and
+//! anything else that moves frames) reports through.
+//!
+//! [`NetCounters`] is plain mergeable state — no atomics, no locks; each
+//! owner keeps its own instance and either merges at the end or snapshots
+//! on demand.  [`KindCounts`] is the same move-to-front small-vec pattern
+//! the simulator's `Collector::on_message` uses: per-message-type tags
+//! are a handful of `&'static str`s, so a linear probe with ptr-compare
+//! beats hashing.
+
+/// Per-message-type counters keyed by the protocol's static tag strings.
+#[derive(Clone, Debug, Default)]
+pub struct KindCounts(Vec<(&'static str, u64)>);
+
+impl KindCounts {
+    /// Add `n` to the counter for `tag`.
+    #[inline]
+    pub fn bump(&mut self, tag: &'static str, n: u64) {
+        // Tags come from a fixed set of statics; ptr equality is the
+        // fast path, string equality the correctness backstop.
+        for ent in self.0.iter_mut() {
+            if std::ptr::eq(ent.0, tag) || ent.0 == tag {
+                ent.1 += n;
+                return;
+            }
+        }
+        self.0.push((tag, n));
+    }
+
+    pub fn get(&self, tag: &str) -> u64 {
+        self.0.iter().find(|(t, _)| *t == tag).map_or(0, |(_, n)| *n)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Canonically sorted `(tag, count)` pairs.
+    pub fn sorted(&self) -> Vec<(&'static str, u64)> {
+        let mut v = self.0.clone();
+        v.sort();
+        v
+    }
+
+    pub fn merge(&mut self, other: &KindCounts) {
+        for (tag, n) in &other.0 {
+            self.bump(tag, *n);
+        }
+    }
+}
+
+/// Frame-level transport counters for one endpoint.
+#[derive(Clone, Debug, Default)]
+pub struct NetCounters {
+    /// Protocol frames written (first transmissions).
+    pub frames_out: u64,
+    /// Bytes written, including framing overhead.
+    pub bytes_out: u64,
+    /// Protocol frames received and decoded.
+    pub frames_in: u64,
+    /// Bytes received, including framing overhead.
+    pub bytes_in: u64,
+    /// Frames re-sent by the reliable session layer.
+    pub retransmit_frames: u64,
+    /// Retransmission-timer expiries serviced.
+    pub rto_fires: u64,
+    /// Outbound frames by protocol message type.
+    pub by_kind: KindCounts,
+}
+
+impl NetCounters {
+    pub fn merge(&mut self, other: &NetCounters) {
+        self.frames_out += other.frames_out;
+        self.bytes_out += other.bytes_out;
+        self.frames_in += other.frames_in;
+        self.bytes_in += other.bytes_in;
+        self.retransmit_frames += other.retransmit_frames;
+        self.rto_fires += other.rto_fires;
+        self.by_kind.merge(&other.by_kind);
+    }
+
+    /// One-line-per-field snapshot for `--metrics` / `MRA_METRICS=1`
+    /// stderr dumps: `metrics[node]: frames_out=… bytes_out=… …` then a
+    /// `by_kind` line when any frame went out.
+    pub fn render(&self, node: usize) -> String {
+        let mut out = format!(
+            "metrics[{}]: frames_out={} bytes_out={} frames_in={} bytes_in={} retransmits={} rto_fires={}\n",
+            node,
+            self.frames_out,
+            self.bytes_out,
+            self.frames_in,
+            self.bytes_in,
+            self.retransmit_frames,
+            self.rto_fires
+        );
+        if !self.by_kind.is_empty() {
+            out.push_str(&format!("metrics[{node}]: by_kind"));
+            for (tag, n) in self.by_kind.sorted() {
+                out.push_str(&format!(" {tag}={n}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_counts_bump_and_merge() {
+        let mut a = KindCounts::default();
+        a.bump("Req", 2);
+        a.bump("Grant", 1);
+        a.bump("Req", 3);
+        assert_eq!(a.get("Req"), 5);
+        assert_eq!(a.get("Grant"), 1);
+        assert_eq!(a.get("Nope"), 0);
+        let mut b = KindCounts::default();
+        b.bump("Req", 10);
+        b.bump("Release", 4);
+        a.merge(&b);
+        assert_eq!(
+            a.sorted(),
+            vec![("Grant", 1), ("Release", 4), ("Req", 15)]
+        );
+    }
+
+    #[test]
+    fn net_counters_merge_and_render() {
+        let mut a = NetCounters {
+            frames_out: 3,
+            bytes_out: 120,
+            ..Default::default()
+        };
+        a.by_kind.bump("Req", 3);
+        let b = NetCounters {
+            frames_in: 2,
+            bytes_in: 64,
+            retransmit_frames: 1,
+            rto_fires: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        let s = a.render(7);
+        assert!(s.contains("metrics[7]: frames_out=3 bytes_out=120 frames_in=2 bytes_in=64 retransmits=1 rto_fires=1"));
+        assert!(s.contains("by_kind Req=3"));
+    }
+}

@@ -12,7 +12,8 @@
 
 use crate::faults::{FaultPlan, FaultState, FaultStats, FrameFate};
 use crate::reliable::{Packet, Reliability, ReliabilityStats, ReliableState};
-use crate::{Allocator, Ctx, ProcState};
+use crate::{Allocator, Ctx, ProcState, WireMsg};
+use mra_obs::{EngineTracer, EventKind, ObsReport, TraceMode};
 use mra_types::{NodeId, ResourceSet, Time};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -211,8 +212,10 @@ struct Slot<A: Allocator> {
 pub struct VirtualNet<A: Allocator> {
     slots: Vec<Slot<A>>,
     /// `links[src * n + dst]`: FIFO queue of in-flight session frames
-    /// ([`Packet::Plain`] when reliability is off).
-    links: Vec<VecDeque<Packet<A::Msg>>>,
+    /// ([`Packet::Plain`] when reliability is off), each carrying the
+    /// Lamport stamp its sender's tracer minted (0 when tracing is
+    /// disarmed, and on standalone ack frames, which are untraced).
+    links: Vec<VecDeque<(u64, Packet<A::Msg>)>>,
     n: usize,
     steps: u64,
     delivered: u64,
@@ -220,6 +223,10 @@ pub struct VirtualNet<A: Allocator> {
     faults: Option<FaultState>,
     /// Installed reliable-delivery session layer, if any.
     reliable: Option<ReliableState<A::Msg>>,
+    /// Causal tracer; a disarmed no-op unless [`VirtualNet::arm_tracing`]
+    /// was called.  Keys events by the step counter (the network's only
+    /// clock).
+    tracer: EngineTracer,
     /// Safety monitor; public so tests can inspect concurrency.
     pub monitor: SafetyMonitor,
 }
@@ -245,6 +252,7 @@ impl<A: Allocator> VirtualNet<A> {
             delivered: 0,
             faults: None,
             reliable: None,
+            tracer: EngineTracer::disarmed(),
             monitor: SafetyMonitor::new(n, m),
             slots: Vec::new(),
         };
@@ -306,6 +314,39 @@ impl<A: Allocator> VirtualNet<A> {
         self.faults = Some(FaultState::new(plan.clone(), self.n));
     }
 
+    /// Arm causal tracing.  Events are keyed by the step counter — the
+    /// network's only clock — so equal seeds give byte-identical traces.
+    /// Messages already in flight (`on_init` token placement ran inside
+    /// [`VirtualNet::new`], before arming was possible) are retroactively
+    /// stamped with synthetic send events, so the causal checker sees a
+    /// complete log.
+    pub fn arm_tracing(&mut self, mode: TraceMode) {
+        if mode == TraceMode::Off {
+            return;
+        }
+        self.tracer = EngineTracer::armed(self.n, mode);
+        self.tracer.set_key(Time::ZERO, 0);
+        let tracer = &mut self.tracer;
+        for (l, queue) in self.links.iter_mut().enumerate() {
+            let (src, dst) = (l / self.n, l % self.n);
+            for (stamp, packet) in queue.iter_mut() {
+                let msg = match packet {
+                    Packet::Plain(msg) => msg,
+                    Packet::Data { msg, .. } => msg,
+                    Packet::Ack { .. } => continue, // acks stay untraced
+                };
+                *stamp = tracer.on_send(src, dst, msg.kind(), msg.weight() as u32, None);
+            }
+        }
+    }
+
+    /// Take the tracer out and fold it into an [`ObsReport`] (disarmed
+    /// default when tracing was never armed).  The net keeps running, but
+    /// untraced from here on.
+    pub fn take_obs(&mut self) -> ObsReport {
+        std::mem::take(&mut self.tracer).finish()
+    }
+
     /// The installed fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.faults.as_ref().map(|f| f.plan())
@@ -327,7 +368,7 @@ impl<A: Allocator> VirtualNet<A> {
         let mut st = ReliableState::new(cfg, self.n);
         for (l, queue) in self.links.iter_mut().enumerate() {
             let (src, dst) = (l / self.n, l % self.n);
-            for packet in queue.iter_mut() {
+            for (_, packet) in queue.iter_mut() {
                 if let Packet::Plain(msg) = packet {
                     let (seq, ack) = st.on_send(src, dst, msg, Time::ZERO);
                     let msg = msg.clone();
@@ -360,9 +401,18 @@ impl<A: Allocator> VirtualNet<A> {
             return 0;
         };
         let links = &mut self.links;
+        let tracer = &mut self.tracer;
         let n = self.n;
         st.retransmit_all(|from, to, packet| {
-            links[from * n + to].push_back(packet);
+            // Each re-emitted copy is a distinct wire event: it gets a
+            // fresh stamp (matching the simulator's RTO path).
+            let stamp = match &packet {
+                Packet::Data { msg, .. } => {
+                    tracer.on_retransmit(from, to, msg.kind(), msg.weight() as u32)
+                }
+                _ => 0,
+            };
+            links[from * n + to].push_back((stamp, packet));
         })
     }
 
@@ -379,6 +429,8 @@ impl<A: Allocator> VirtualNet<A> {
         assert!(!set.is_empty(), "empty request");
         self.slots[i].pending = Some(set.clone());
         self.tick();
+        self.tracer.set_key(Time::from_nanos(self.steps), 0);
+        self.tracer.on_cs(EventKind::CsRequest, i, set.len() as u32);
         let slot = &mut self.slots[i];
         slot.ctx.set_now(Time::from_nanos(self.steps));
         slot.proto.request(&mut slot.ctx, set);
@@ -390,6 +442,8 @@ impl<A: Allocator> VirtualNet<A> {
         assert!(self.monitor.is_in_cs(i), "node {i} released outside CS");
         self.monitor.exit(i);
         self.tick();
+        self.tracer.set_key(Time::from_nanos(self.steps), 0);
+        self.tracer.on_cs(EventKind::CsExit, i, 0);
         let slot = &mut self.slots[i];
         slot.ctx.set_now(Time::from_nanos(self.steps));
         slot.proto.release(&mut slot.ctx);
@@ -422,7 +476,7 @@ impl<A: Allocator> VirtualNet<A> {
     }
 
     fn deliver_from_link(&mut self, link: usize) {
-        let packet = self.links[link].pop_front().expect("link not empty");
+        let (stamp, packet) = self.links[link].pop_front().expect("link not empty");
         let (src, dst) = (link / self.n, link % self.n);
         // A wire duplicate is a one-off copy arriving right behind the
         // original; it does not re-enter the fault filter (a copy of a
@@ -433,7 +487,14 @@ impl<A: Allocator> VirtualNet<A> {
         if let Some(fs) = self.faults.as_mut() {
             match fs.fate(src, dst) {
                 // Lost on the wire: the pop consumed it, nobody sees it.
-                FrameFate::Drop => return,
+                FrameFate::Drop => {
+                    let tag = match &packet {
+                        Packet::Plain(msg) | Packet::Data { msg, .. } => msg.kind(),
+                        Packet::Ack { .. } => "RAck",
+                    };
+                    self.tracer.on_fault(dst, src, tag, stamp);
+                    return;
+                }
                 FrameFate::Duplicate => {
                     if self.reliable.is_some() {
                         dup_copy = true;
@@ -479,6 +540,12 @@ impl<A: Allocator> VirtualNet<A> {
         };
         self.tick();
         self.delivered += 1;
+        // One dispatch key per delivery; the in-flight count doubles as
+        // the queue-depth sample (the net has no event queue).
+        self.tracer
+            .on_dispatch(Time::from_nanos(self.steps), 0, self.in_flight());
+        self.tracer
+            .on_recv(src, dst, msg.kind(), msg.weight() as u32, stamp);
         let slot = &mut self.slots[dst];
         slot.ctx.set_now(Time::from_nanos(self.steps));
         slot.proto.on_message(&mut slot.ctx, src, msg);
@@ -492,7 +559,8 @@ impl<A: Allocator> VirtualNet<A> {
     fn queue_pending_ack(&mut self, src: NodeId, dst: NodeId) {
         if let Some(st) = self.reliable.as_mut() {
             if let Some(ack) = st.pending_ack(src, dst) {
-                self.links[dst * self.n + src].push_back(Packet::Ack { ack });
+                // Stamp 0: standalone acks are session plumbing, untraced.
+                self.links[dst * self.n + src].push_back((0, Packet::Ack { ack }));
             }
         }
     }
@@ -521,6 +589,7 @@ impl<A: Allocator> VirtualNet<A> {
                 .pending
                 .take()
                 .unwrap_or_else(|| panic!("node {i} granted without a pending request"));
+            self.tracer.on_cs(EventKind::CsEnter, i, set.len() as u32);
             self.monitor.enter(i, set);
         }
     }
@@ -530,16 +599,19 @@ impl<A: Allocator> VirtualNet<A> {
         // link queues are appended — no per-dispatch allocation.
         let slot = &mut self.slots[i];
         let links = &mut self.links;
+        let tracer = &mut self.tracer;
         match self.reliable.as_mut() {
             None => {
                 for (to, msg) in slot.ctx.drain_outbox() {
-                    links[i * self.n + to].push_back(Packet::Plain(msg));
+                    let stamp = tracer.on_send(i, to, msg.kind(), msg.weight() as u32, None);
+                    links[i * self.n + to].push_back((stamp, Packet::Plain(msg)));
                 }
             }
             Some(st) => {
                 for (to, msg) in slot.ctx.drain_outbox() {
+                    let stamp = tracer.on_send(i, to, msg.kind(), msg.weight() as u32, None);
                     let (seq, ack) = st.on_send(i, to, &msg, Time::ZERO);
-                    links[i * self.n + to].push_back(Packet::Data { seq, ack, msg });
+                    links[i * self.n + to].push_back((stamp, Packet::Data { seq, ack, msg }));
                 }
             }
         }
@@ -572,6 +644,7 @@ where
             delivered: self.delivered,
             faults: self.faults.clone(),
             reliable: self.reliable.clone(),
+            tracer: self.tracer.clone(),
             monitor: self.monitor.clone(),
         }
     }

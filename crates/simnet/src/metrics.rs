@@ -2,6 +2,7 @@
 //! summary statistics (the paper's §5.2 and §5.3 metrics).
 
 use crate::stats;
+use mra_obs::ObsReport;
 use mra_protocol::faults::FaultStats;
 use mra_protocol::reliable::ReliabilityStats;
 use mra_types::{NodeId, ResourceSet, Time};
@@ -43,19 +44,26 @@ pub struct WaitStats {
     pub median_ms: f64,
     /// 95th percentile (ms).
     pub p95_ms: f64,
+    /// 99th percentile (ms).
+    pub p99_ms: f64,
+    /// 99.9th percentile (ms) — the tail-SLO figure.  Exact here (full
+    /// sample vector); the live, fixed-memory variant is the log2
+    /// histogram in [`mra_obs::LogHist`], reported via `RunResult::obs`.
+    pub p999_ms: f64,
 }
 
 impl WaitStats {
     /// Compute from raw waits in milliseconds.  Takes the samples by value
-    /// and sorts them **once**: median and p95 then use the
+    /// and sorts them **once**: median, p95, p99 and p999 then use the
     /// [`stats::percentile_sorted`] fast path instead of re-sorting a clone
     /// per percentile (this sits on the per-report hot path of every
     /// figure sweep and bench run).
     ///
-    /// With zero samples `median_ms`/`p95_ms` are `NaN` (a percentile of
-    /// nothing does not exist — see [`stats::percentile`]); render them
-    /// with [`WaitStats::cell`], which writes `"n/a"` instead of leaking
-    /// `NaN` into tables and CSVs.
+    /// With zero samples the percentile fields are `NaN` (a percentile of
+    /// nothing does not exist — see [`stats::percentile`], and
+    /// [`mra_obs::LogHist::quantile`] for the same contract on the live
+    /// histograms); render them with [`WaitStats::cell`], which writes
+    /// `"n/a"` instead of leaking `NaN` into tables and CSVs.
     pub fn from_ms(mut ms: Vec<f64>) -> Self {
         ms.sort_by(|a, b| a.total_cmp(b));
         WaitStats {
@@ -64,6 +72,8 @@ impl WaitStats {
             std_ms: stats::std_dev(&ms),
             median_ms: stats::percentile_sorted(&ms, 50.0),
             p95_ms: stats::percentile_sorted(&ms, 95.0),
+            p99_ms: stats::percentile_sorted(&ms, 99.0),
+            p999_ms: stats::percentile_sorted(&ms, 99.9),
         }
     }
 
@@ -130,6 +140,10 @@ pub struct RunResult {
     /// Events processed per shard (sums to `events_processed`; empty for
     /// the non-simulator runtimes).
     pub shard_events: Vec<u64>,
+    /// Observability capture: live histograms and (when armed) the causal
+    /// event trace.  Default (disarmed) unless tracing was enabled via
+    /// `Sim::set_tracing` / `MRA_TRACE`.
+    pub obs: ObsReport,
 }
 
 impl RunResult {
@@ -269,11 +283,16 @@ impl Collector {
         });
     }
 
-    /// The node entered its CS.
-    pub fn on_grant(&mut self, node: NodeId, now: Time) {
+    /// The node entered its CS.  Returns the issue → grant waiting time
+    /// when a matching outstanding request exists (the tracer feeds it to
+    /// the live wait histogram without recomputing).
+    pub fn on_grant(&mut self, node: NodeId, now: Time) -> Option<Time> {
         if let Some(rec) = self.outstanding[node].as_mut() {
             debug_assert!(rec.granted.is_none());
             rec.granted = Some(now);
+            Some(now - rec.issued)
+        } else {
+            None
         }
     }
 
@@ -420,6 +439,7 @@ impl Collector {
             reliability: ReliabilityStats::default(),
             shards: 1,
             shard_events: Vec::new(),
+            obs: ObsReport::default(),
         }
     }
 }
@@ -464,6 +484,9 @@ mod tests {
         let w = res.wait_stats();
         assert_eq!(w.count, 2);
         assert!((w.mean_ms - 6.0).abs() < 1e-9); // (4 + 8) / 2
+        // Tail percentiles are monotone and bounded by the max sample.
+        assert!(w.p95_ms <= w.p99_ms && w.p99_ms <= w.p999_ms);
+        assert!(w.p999_ms <= 8.0 + 1e-9);
         assert_eq!(res.cs_completed, 2);
         assert_eq!(res.censored, 0);
     }
@@ -474,7 +497,11 @@ mod tests {
         c.on_issue(0, ResourceSet::singleton(0), t(50));
         let res = c.finish("x", 1, t(100));
         assert_eq!(res.censored, 1);
-        assert_eq!(res.wait_stats().count, 0);
+        let w = res.wait_stats();
+        assert_eq!(w.count, 0);
+        // Empty-sample percentiles are NaN (rendered "n/a" by `cell`).
+        assert!(w.p99_ms.is_nan() && w.p999_ms.is_nan());
+        assert_eq!(WaitStats::cell(w.p999_ms, 2), "n/a");
     }
 
     #[test]

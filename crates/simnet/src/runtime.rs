@@ -17,6 +17,7 @@
 
 use crate::driver::{Driver, DriverState, Workload};
 use crate::metrics::Collector;
+use mra_obs::{trace_mode_from_env, EngineTracer, EventKind, ObsReport, TraceMode};
 use mra_protocol::testkit::SafetyMonitor;
 use mra_protocol::{Allocator, Ctx, WireMsg};
 use mra_types::{NodeId, Time};
@@ -42,6 +43,10 @@ pub enum PortEvent<M> {
         from: NodeId,
         /// Earliest processing instant.
         deliver_at: Instant,
+        /// Lamport stamp minted by the sender's tracer (0 when tracing is
+        /// disarmed or the transport cannot carry it — see
+        /// [`NodePort::send`]).
+        stamp: u64,
         /// The protocol message.
         msg: M,
     },
@@ -60,7 +65,13 @@ pub enum PortEvent<M> {
 pub trait NodePort<M>: Send {
     /// Queue `msg` for delivery to `to`.  Send failures after shutdown are
     /// ignored — the run is already over.
-    fn send(&mut self, to: NodeId, msg: M);
+    ///
+    /// `stamp` is the sender-side Lamport stamp minted by the run's tracer
+    /// (0 when disarmed).  In-process ports carry it to the receiver's
+    /// [`PortEvent::Msg`]; wire transports whose frame format predates
+    /// tracing may drop it and deliver 0 (the trace then still has
+    /// per-node ordering and counters, just no cross-node edges).
+    fn send(&mut self, to: NodeId, msg: M, stamp: u64);
 
     /// Block until the next event (never returns [`PortEvent::TimedOut`]).
     fn recv(&mut self) -> PortEvent<M>;
@@ -83,6 +94,13 @@ pub struct RunShared {
     pub monitor: Mutex<SafetyMonitor>,
     /// Metrics accumulator.
     pub collector: Mutex<Collector>,
+    /// Causal tracer, `Some` only when armed via `MRA_TRACE` /
+    /// `MRA_TRACE_FILE` (see [`mra_obs::trace_mode_from_env`]).  Disarmed
+    /// runs pay exactly one `Option` check per hook site — the tracer
+    /// itself is never constructed.  Real-time runs have no deterministic
+    /// dispatch key, so every event is keyed `(shared.now(), 0)`; the
+    /// per-record sequence number keeps the merged order stable.
+    pub obs: Option<Mutex<EngineTracer>>,
     /// Wall-clock origin of the run.
     pub epoch: Instant,
 }
@@ -90,11 +108,18 @@ pub struct RunShared {
 impl RunShared {
     /// Fresh shared state for `n` nodes and `m` resources.  The collector
     /// window is open-ended (clamped to the actual end by
-    /// [`Collector::finish`]).
+    /// [`Collector::finish`]).  Tracing arms from the environment
+    /// ([`mra_obs::trace_mode_from_env`]) so both the mpsc and the TCP
+    /// runtime pick it up from one place.
     pub fn new(n: usize, m: usize) -> Self {
+        let obs = match trace_mode_from_env() {
+            TraceMode::Off => None,
+            mode => Some(Mutex::new(EngineTracer::armed(n, mode))),
+        };
         RunShared {
             monitor: Mutex::new(SafetyMonitor::new(n, m)),
             collector: Mutex::new(Collector::new(n, m, (Time::ZERO, Time::from_secs(3600)))),
+            obs,
             epoch: Instant::now(),
         }
     }
@@ -102,6 +127,16 @@ impl RunShared {
     /// Wall time elapsed since the run epoch.
     pub fn now(&self) -> Time {
         Time::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// Take the tracer out (after all node threads joined) and fold it
+    /// into an [`ObsReport`].  Returns a disarmed default report when
+    /// tracing was off.
+    pub fn finish_obs(&self) -> ObsReport {
+        match &self.obs {
+            Some(m) => std::mem::take(&mut *lock(m)).finish(),
+            None => ObsReport::default(),
+        }
     }
 }
 
@@ -167,12 +202,17 @@ pub fn drive_node<A, W, P>(
 
         match event {
             PortEvent::Shutdown => return,
-            PortEvent::Msg { from, deliver_at, msg } => {
+            PortEvent::Msg { from, deliver_at, stamp, msg } => {
                 let wait = deliver_at.saturating_duration_since(Instant::now());
                 if !wait.is_zero() {
                     std::thread::sleep(wait);
                 }
                 ctx.set_now(shared.now());
+                if let Some(obs) = &shared.obs {
+                    let mut t = lock(obs);
+                    t.set_key(shared.now(), 0);
+                    t.on_recv(from, me, msg.kind(), msg.weight() as u32, stamp);
+                }
                 proto.on_message(&mut ctx, from, msg);
                 flush_and_grants(me, &mut ctx, &mut driver, &mut port, shared, &mut deadline);
             }
@@ -181,6 +221,11 @@ pub fn drive_node<A, W, P>(
                 match driver.state() {
                     DriverState::Thinking => {
                         let set = driver.issue(&mut workload, &mut rng);
+                        if let Some(obs) = &shared.obs {
+                            let mut t = lock(obs);
+                            t.set_key(shared.now(), 0);
+                            t.on_cs(EventKind::CsRequest, me, set.len() as u32);
+                        }
                         lock(&shared.collector).on_issue(me, set.clone(), shared.now());
                         deadline = None; // wait for the grant
                         ctx.set_now(shared.now());
@@ -195,6 +240,11 @@ pub fn drive_node<A, W, P>(
                         );
                     }
                     DriverState::InCs => {
+                        if let Some(obs) = &shared.obs {
+                            let mut t = lock(obs);
+                            t.set_key(shared.now(), 0);
+                            t.on_cs(EventKind::CsExit, me, 0);
+                        }
                         lock(&shared.collector).on_release(me, shared.now());
                         lock(&shared.monitor).exit(me);
                         driver.released();
@@ -243,15 +293,35 @@ fn flush_and_grants<M: WireMsg, P: NodePort<M>>(
 ) {
     if ctx.has_output() {
         let mut collector = lock(&shared.collector);
+        // One tracer lock per outbox burst; every message in the burst
+        // shares the key (now, 0), disambiguated by the tracer's seq.
+        let mut obs = shared.obs.as_ref().map(|m| {
+            let mut t = lock(m);
+            t.set_key(shared.now(), 0);
+            t
+        });
         for (to, msg) in ctx.drain_outbox() {
             collector.on_message(msg.kind(), msg.weight());
-            port.send(to, msg);
+            let stamp = match obs.as_deref_mut() {
+                Some(t) => t.on_send(me, to, msg.kind(), msg.weight() as u32, None),
+                None => 0,
+            };
+            port.send(to, msg, stamp);
         }
     }
     if ctx.take_granted() {
         let set = driver.current_set();
+        let size = set.len() as u32;
         lock(&shared.monitor).enter(me, set);
-        lock(&shared.collector).on_grant(me, shared.now());
+        let wait = lock(&shared.collector).on_grant(me, shared.now());
+        if let Some(obs) = &shared.obs {
+            let mut t = lock(obs);
+            t.set_key(shared.now(), 0);
+            if let Some(w) = wait {
+                t.record_wait(w);
+            }
+            t.on_cs(EventKind::CsEnter, me, size);
+        }
         let cs = driver.granted();
         *deadline = Some(Instant::now() + cs.to_std());
     }

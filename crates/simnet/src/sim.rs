@@ -37,6 +37,7 @@
 use crate::driver::{Driver, DriverState, Workload};
 use crate::latency::LatencyModel;
 use crate::metrics::{Collector, RunResult};
+use mra_obs::{EngineTracer, EventKind, ObsReport, TraceLog, TraceMode};
 use mra_protocol::faults::{Admit, FaultPlan, FaultState, FaultStats};
 use mra_protocol::reliable::{Reliability, ReliabilityStats, ReliableState, RtoVerdict};
 use mra_protocol::testkit::SafetyMonitor;
@@ -103,15 +104,25 @@ impl SimConfig {
 }
 
 enum Ev<M> {
-    /// Perfect-link delivery (reliability off).
-    Deliver { from: NodeId, to: NodeId, msg: M },
+    /// Perfect-link delivery (reliability off).  `stamp` is the sender's
+    /// Lamport stamp when tracing is armed (0 disarmed): riding inside the
+    /// event is what carries causality across shard mailboxes, loss and
+    /// duplication without any side channel.
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        stamp: u64,
+        msg: M,
+    },
     /// Session-layer data frame (reliability on): sequenced, carries a
-    /// piggybacked cumulative ack for the reverse direction.
+    /// piggybacked cumulative ack for the reverse direction (and the
+    /// sender's Lamport stamp, like [`Ev::Deliver`]).
     DeliverData {
         from: NodeId,
         to: NodeId,
         seq: u64,
         ack: u64,
+        stamp: u64,
         msg: M,
     },
     /// Session-layer standalone cumulative ack.
@@ -315,6 +326,12 @@ impl<M> EventQueue<M> {
         self.heap.first().map(|k| k.at)
     }
 
+    /// Number of queued events (the tracer's queue-depth sample).
+    #[inline]
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
     fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
@@ -392,6 +409,9 @@ struct Shard<A: Allocator, W: Workload> {
     cs_log: Vec<CsNote>,
     /// Outbound cross-shard events, one buffer per destination shard.
     mail_out: Vec<Vec<Mail<A::Msg>>>,
+    /// Causal tracing + live metrics; disarmed by default (every hook is
+    /// a single-branch no-op — the zero-alloc guard covers this state).
+    tracer: EngineTracer,
     latency: LatencyModel,
     stop_issuing: Time,
     end_at: Time,
@@ -443,6 +463,14 @@ impl<A: Allocator, W: Workload> Shard<A, W> {
         }
         for j in 0..self.nodes.len() {
             let i = j * self.k + self.id;
+            // Init-time sends run before any dispatch has set a trace key:
+            // give each node's init outbox a synthetic per-node key.  It
+            // cannot collide with real dispatch keys — those are
+            // `lane << 32 | ctr`, and small plain values live on lane 0,
+            // the 0 → 0 self-link no protocol ever sends on.  Crucially
+            // these keys are tracer-only: no engine lane counter is minted
+            // for them, so arming tracing cannot perturb the schedule.
+            self.tracer.set_key(Time::ZERO, i as u64);
             self.schedule_outbox(i);
         }
         for j in 0..self.nodes.len() {
@@ -472,6 +500,7 @@ impl<A: Allocator, W: Workload> Shard<A, W> {
         let queue = &mut self.queue;
         let lanes = &mut self.lanes;
         let mail = &mut self.mail_out;
+        let tracer = &mut self.tracer;
         let latency = &self.latency;
         let now = self.now;
         let n = self.n;
@@ -482,15 +511,23 @@ impl<A: Allocator, W: Workload> Shard<A, W> {
                     // `sample` fast-paths deterministic models (the paper's
                     // γ = const) without touching the RNG.
                     let lat = latency.sample(from, to, net_rng);
+                    let stamp = tracer.on_send(from, to, msg.kind(), msg.weight() as u32, Some(lat));
                     let lane = (from * n + to) as u32;
                     let e = lanes.ent(lane);
                     // Reliable FIFO links: never deliver before an earlier
                     // message on the same link (1 ns separation keeps
-                    // strict order even under jittered latency).
-                    let at = (now + lat).max(e.last + Time::from_nanos(1));
+                    // strict order even under jittered latency).  The
+                    // `now + 1` floor makes delivery *strictly* after the
+                    // send even under `LatencyModel::Zero`: the canonical
+                    // trace key order `(at, ord)` then respects causality,
+                    // which the per-lane `ord` counters alone cannot
+                    // guarantee for same-instant cross-lane events.
+                    let at = (now + lat)
+                        .max(now + Time::from_nanos(1))
+                        .max(e.last + Time::from_nanos(1));
                     e.last = at;
                     let ord = mk_ord(lane, e);
-                    route(me, k, queue, mail, at, ord, Ev::Deliver { from, to, msg });
+                    route(me, k, queue, mail, at, ord, Ev::Deliver { from, to, stamp, msg });
                 }
             }
             Some(st) => {
@@ -500,12 +537,16 @@ impl<A: Allocator, W: Workload> Shard<A, W> {
                     // retransmit timer is ticking for this link.
                     let (seq, ack) = st.on_send(from, to, &msg, now);
                     let lat = latency.sample(from, to, net_rng);
+                    let stamp = tracer.on_send(from, to, msg.kind(), msg.weight() as u32, Some(lat));
                     let lane = (from * n + to) as u32;
                     let e = lanes.ent(lane);
-                    let at = (now + lat).max(e.last + Time::from_nanos(1));
+                    // Same strictly-after-send floor as the unreliable arm.
+                    let at = (now + lat)
+                        .max(now + Time::from_nanos(1))
+                        .max(e.last + Time::from_nanos(1));
                     e.last = at;
                     let ord = mk_ord(lane, e);
-                    route(me, k, queue, mail, at, ord, Ev::DeliverData { from, to, seq, ack, msg });
+                    route(me, k, queue, mail, at, ord, Ev::DeliverData { from, to, seq, ack, stamp, msg });
                     if st.needs_arm(from, to) {
                         // The retransmit timer executes at `from` = here.
                         let tl = (n * n + from) as u32;
@@ -581,9 +622,13 @@ impl<A: Allocator, W: Workload> Shard<A, W> {
         let j = self.local(i);
         if self.nodes[j].ctx.take_granted() {
             let set = self.nodes[j].driver.current_set();
+            let size = set.len() as u32;
             let now = self.now;
             self.note_cs_enter(i, ord, set);
-            self.collector.on_grant(i, now);
+            if let Some(wait) = self.collector.on_grant(i, now) {
+                self.tracer.record_wait(wait);
+            }
+            self.tracer.on_cs(EventKind::CsEnter, i, size);
             let cs = self.nodes[j].driver.granted();
             let lord = self.local_ord(i);
             self.queue.push(now + cs, lord, Ev::CsEnd { node: i });
@@ -600,8 +645,9 @@ impl<A: Allocator, W: Workload> Shard<A, W> {
         );
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
+        self.tracer.on_dispatch(at, ord, self.queue.len());
         match ev {
-            Ev::Deliver { from, to, msg } => {
+            Ev::Deliver { from, to, stamp, msg } => {
                 // Fault admission at event pop: the zero-alloc hot path is
                 // preserved — decisions are pure hashes over pre-sized
                 // tables, a deferral re-pushes into the free-list slab.
@@ -610,17 +656,21 @@ impl<A: Allocator, W: Workload> Shard<A, W> {
                     None => Admit::Deliver,
                 };
                 match verdict {
-                    Admit::Drop => return,
+                    Admit::Drop => {
+                        self.tracer.on_fault(to, from, msg.kind(), stamp);
+                        return;
+                    }
                     Admit::Defer(until) => {
                         let when = until.max(at + Time::from_nanos(1));
                         let lord = self.local_ord(to);
-                        self.queue.push(when, lord, Ev::Deliver { from, to, msg });
+                        self.queue.push(when, lord, Ev::Deliver { from, to, stamp, msg });
                         return;
                     }
                     // `admit` folds wire duplicates into Deliver; the
                     // variant only flows out of `admit_wire`.
                     Admit::Deliver | Admit::Duplicate => {}
                 }
+                self.tracer.on_recv(from, to, msg.kind(), msg.weight() as u32, stamp);
                 self.collector.on_message(msg.kind(), msg.weight());
                 let j = self.local(to);
                 let node = &mut self.nodes[j];
@@ -628,7 +678,7 @@ impl<A: Allocator, W: Workload> Shard<A, W> {
                 node.proto.on_message(&mut node.ctx, from, msg);
                 self.post_dispatch(to, ord);
             }
-            Ev::DeliverData { from, to, seq, ack, msg } => {
+            Ev::DeliverData { from, to, seq, ack, stamp, msg } => {
                 // A wire duplicate is a one-off copy arriving right behind
                 // the original; it is absorbed by the receive window
                 // inline (it never re-enters the fault filter — a copy of
@@ -639,12 +689,15 @@ impl<A: Allocator, W: Workload> Shard<A, W> {
                 };
                 let mut dup_copy = false;
                 match verdict {
-                    Admit::Drop => return,
+                    Admit::Drop => {
+                        self.tracer.on_fault(to, from, msg.kind(), stamp);
+                        return;
+                    }
                     Admit::Defer(until) => {
                         let when = until.max(at + Time::from_nanos(1));
                         let lord = self.local_ord(to);
                         self.queue
-                            .push(when, lord, Ev::DeliverData { from, to, seq, ack, msg });
+                            .push(when, lord, Ev::DeliverData { from, to, seq, ack, stamp, msg });
                         return;
                     }
                     Admit::Duplicate => dup_copy = true,
@@ -660,6 +713,9 @@ impl<A: Allocator, W: Workload> Shard<A, W> {
                     st.on_data(from, to, seq, ack);
                 }
                 if deliver {
+                    // Session dedup absorbs stale frames before this point,
+                    // so exactly one recv is traced per accepted frame.
+                    self.tracer.on_recv(from, to, msg.kind(), msg.weight() as u32, stamp);
                     self.collector.on_message(msg.kind(), msg.weight());
                     let j = self.local(to);
                     let node = &mut self.nodes[j];
@@ -738,13 +794,21 @@ impl<A: Allocator, W: Workload> Shard<A, W> {
                 let queue = &mut self.queue;
                 let lanes = &mut self.lanes;
                 let mail = &mut self.mail_out;
+                let tracer = &mut self.tracer;
                 let latency = &self.latency;
                 let (me, k, n) = (self.id, self.k, self.n);
                 let lane = (from * n + to) as u32;
                 for (seq, msg) in st.unacked(from, to) {
                     let lat = latency.sample(from, to, net_rng);
+                    // A retransmission is a later event than the original
+                    // send: it mints a fresh Lamport stamp.
+                    let stamp = tracer.on_retransmit(from, to, msg.kind(), msg.weight() as u32);
                     let e = lanes.ent(lane);
-                    let when = (at + lat).max(e.last + Time::from_nanos(1));
+                    // Strictly after the RTO fire, like first transmissions
+                    // are strictly after their send.
+                    let when = (at + lat)
+                        .max(at + Time::from_nanos(1))
+                        .max(e.last + Time::from_nanos(1));
                     e.last = when;
                     let o = mk_ord(lane, e);
                     route(me, k, queue, mail, when, o, Ev::DeliverData {
@@ -752,6 +816,7 @@ impl<A: Allocator, W: Workload> Shard<A, W> {
                         to,
                         seq,
                         ack,
+                        stamp,
                         msg: msg.clone(),
                     });
                 }
@@ -789,6 +854,7 @@ impl<A: Allocator, W: Workload> Shard<A, W> {
                     } = &mut self.nodes[j];
                     driver.issue(workload, rng)
                 };
+                self.tracer.on_cs(EventKind::CsRequest, i, set.len() as u32);
                 self.collector.on_issue(i, set.clone(), at);
                 let node = &mut self.nodes[j];
                 node.ctx.set_now(at);
@@ -813,6 +879,7 @@ impl<A: Allocator, W: Workload> Shard<A, W> {
                 }
                 self.collector.on_release(i, at);
                 self.note_cs_exit(i, ord);
+                self.tracer.on_cs(EventKind::CsExit, i, 0);
                 let j = self.local(i);
                 let node = &mut self.nodes[j];
                 node.driver.released();
@@ -1004,6 +1071,7 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
                 },
                 cs_log: Vec::new(),
                 mail_out: (0..k).map(|_| Vec::new()).collect(),
+                tracer: EngineTracer::disarmed(),
                 latency: cfg.latency.clone(),
                 stop_issuing,
                 end_at,
@@ -1094,6 +1162,35 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
             }
         }
         acc
+    }
+
+    /// Arm causal tracing + live metrics capture (see [`mra_obs`]).
+    ///
+    /// Each shard gets its own [`EngineTracer`]; at the end of the run the
+    /// per-shard buffers merge in canonical `(at, ord, seq)` order — the
+    /// exact key the event heaps order by — so the resulting trace (and
+    /// its JSONL rendering) is **byte-identical for every shard count**,
+    /// like everything else the engine produces.  Lamport stamps ride
+    /// inside delivery events, so causality survives shard mailboxes,
+    /// loss, duplication and retransmission with no side channel; each
+    /// node's clock is only ever touched by the shard that owns the node.
+    ///
+    /// Arming never touches RNGs, lane counters or the schedule: a traced
+    /// run executes the identical event sequence as an untraced one.  In
+    /// `TraceMode::Ring` each *shard* keeps a ring of the given capacity
+    /// and recording allocates nothing after this call; `Unbounded` keeps
+    /// every event.  `TraceMode::Off` is a no-op.
+    ///
+    /// # Panics
+    /// If called after [`Sim::init`].
+    pub fn set_tracing(&mut self, mode: TraceMode) {
+        assert!(!self.initialized, "arm tracing before init()");
+        if mode == TraceMode::Off {
+            return;
+        }
+        for s in &mut self.shards {
+            s.tracer = EngineTracer::armed(self.n, mode);
+        }
     }
 
     /// Pre-reserve event-queue capacity for `slots` more in-flight events
@@ -1259,6 +1356,20 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
         let events: u64 = shard_events.iter().sum();
         let k = self.k;
         let n = self.n;
+        // Merge per-shard tracers: histograms fold (exact), trace buffers
+        // concatenate and sort by the canonical `(at, ord, seq)` key — the
+        // same global order the safety replay above uses — so the merged
+        // trace is independent of the shard layout.
+        let mut obs = ObsReport::default();
+        let mut parts = Vec::new();
+        let mut trace_dropped = 0u64;
+        for s in &mut self.shards {
+            let tracer = std::mem::take(&mut s.tracer);
+            trace_dropped += tracer.absorb_into(&mut obs, &mut parts);
+        }
+        if obs.armed {
+            obs.trace = Some(TraceLog::merge(parts, trace_dropped));
+        }
         let mut it = self.shards.into_iter();
         let mut collector = it.next().expect("k >= 1").collector;
         for s in it {
@@ -1271,6 +1382,7 @@ impl<A: Allocator, W: Workload> Sim<A, W> {
         res.reliability = rel_stats;
         res.shards = k;
         res.shard_events = shard_events;
+        res.obs = obs;
         res
     }
 }

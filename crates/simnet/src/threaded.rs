@@ -42,6 +42,7 @@ enum Envelope<M> {
     Msg {
         from: NodeId,
         deliver_at: Instant,
+        stamp: u64,
         msg: M,
     },
     Shutdown,
@@ -62,20 +63,21 @@ struct MpscPort<M> {
 }
 
 impl<M: Send> NodePort<M> for MpscPort<M> {
-    fn send(&mut self, to: NodeId, msg: M) {
+    fn send(&mut self, to: NodeId, msg: M, stamp: u64) {
         let deliver_at = Instant::now() + self.shared.latency.to_std();
         // A closed channel means the peer is past shutdown: drop silently.
         let _ = self.shared.senders[to].send(Envelope::Msg {
             from: self.me,
             deliver_at,
+            stamp,
             msg,
         });
     }
 
     fn recv(&mut self) -> PortEvent<M> {
         match self.rx.recv() {
-            Ok(Envelope::Msg { from, deliver_at, msg }) => {
-                PortEvent::Msg { from, deliver_at, msg }
+            Ok(Envelope::Msg { from, deliver_at, stamp, msg }) => {
+                PortEvent::Msg { from, deliver_at, stamp, msg }
             }
             Ok(Envelope::Shutdown) | Err(_) => PortEvent::Shutdown,
         }
@@ -84,8 +86,8 @@ impl<M: Send> NodePort<M> for MpscPort<M> {
     fn recv_deadline(&mut self, deadline: Instant) -> PortEvent<M> {
         let wait = deadline.saturating_duration_since(Instant::now());
         match self.rx.recv_timeout(wait) {
-            Ok(Envelope::Msg { from, deliver_at, msg }) => {
-                PortEvent::Msg { from, deliver_at, msg }
+            Ok(Envelope::Msg { from, deliver_at, stamp, msg }) => {
+                PortEvent::Msg { from, deliver_at, stamp, msg }
             }
             Ok(Envelope::Shutdown) => PortEvent::Shutdown,
             Err(RecvTimeoutError::Timeout) => PortEvent::TimedOut,
@@ -173,11 +175,14 @@ where
     let end = shared.now();
     let shared = Arc::try_unwrap(shared)
         .unwrap_or_else(|_| panic!("thread leaked a Shared reference"));
-    shared
+    let obs = shared.finish_obs();
+    let mut res = shared
         .collector
         .into_inner()
         .unwrap_or_else(|e| e.into_inner())
-        .finish(&algo, n, end)
+        .finish(&algo, n, end);
+    res.obs = obs;
+    res
 }
 
 #[cfg(test)]

@@ -10,9 +10,17 @@
 //!
 //! The counter is thread-local so the other tests of this binary (and the
 //! libtest harness itself) cannot pollute the measurement.
+//!
+//! The observability hooks (`mra_obs::EngineTracer`) are **compiled into**
+//! every path measured here: the disarmed tests certify that a disarmed
+//! tracer is a single-branch no-op that touches no memory, and the
+//! armed-ring test certifies the `MRA_TRACE=ring` production mode records
+//! into its pre-sized ring with zero allocations after arming — the fixed
+//! allocation bound that makes always-on tracing deployable.
 
 use mra_protocol::testkit::EchoProbe;
 use mra_sim::faults::FaultPlan;
+use mra_sim::obs::TraceMode;
 use mra_sim::reliable::Reliability;
 use mra_sim::{FixedWorkload, LatencyModel, Sim, SimConfig};
 use mra_types::Time;
@@ -54,7 +62,19 @@ fn allocs_on_this_thread() -> u64 {
 
 #[test]
 fn steady_state_deliver_dispatch_is_allocation_free() {
-    assert_zero_alloc_dispatch(None, None, 3);
+    assert_zero_alloc_dispatch(None, None, 3, TraceMode::Off);
+}
+
+/// The armed `MRA_TRACE=ring` hot path must be allocation-free too: the
+/// ring buffer, the per-node Lamport clocks and the log2 histograms are
+/// all pre-sized when tracing is armed, so recording — including ring
+/// overwrite once the buffer is full — performs zero allocations over 20k
+/// steady-state events.  The ring is sized well below the warmup event
+/// count so the measured window runs entirely in overwrite mode, the
+/// worst (and steady-state) case.
+#[test]
+fn steady_state_dispatch_with_armed_ring_tracing_is_allocation_free() {
+    assert_zero_alloc_dispatch(None, None, 3, TraceMode::Ring(2_048));
 }
 
 /// Same guard with a [`FaultPlan`] installed: the fault admission path
@@ -75,7 +95,7 @@ fn steady_state_dispatch_with_fault_plan_is_allocation_free() {
         .partition(vec![0, 1], far, later)
         .pause(2, far, later);
     // Fan 40: node 0 seeds 40 balls per peer = 120 concurrent ping-pongs.
-    assert_zero_alloc_dispatch(Some(plan), None, 40);
+    assert_zero_alloc_dispatch(Some(plan), None, 40, TraceMode::Off);
 }
 
 /// Same guard with the reliable session layer enabled over a *lossy* plan:
@@ -93,7 +113,9 @@ fn steady_state_dispatch_with_reliability_over_loss_is_allocation_free() {
     // Cover the worst-case unacked backlog of 120 in-flight balls per
     // direction plus retransmission races.
     rel.window = 512;
-    assert_zero_alloc_dispatch(Some(plan), Some(rel), 40);
+    // Ring tracing rides along here as well: retransmit and fault-verdict
+    // records must be as allocation-free as plain sends and recvs.
+    assert_zero_alloc_dispatch(Some(plan), Some(rel), 40, TraceMode::Ring(2_048));
 }
 
 /// The sharded engine's steady state must be allocation-free too: the
@@ -148,7 +170,12 @@ fn steady_state_windowed_dispatch_on_4_shards_is_allocation_free() {
     );
 }
 
-fn assert_zero_alloc_dispatch(plan: Option<FaultPlan>, reliability: Option<Reliability>, fan: u64) {
+fn assert_zero_alloc_dispatch(
+    plan: Option<FaultPlan>,
+    reliability: Option<Reliability>,
+    fan: u64,
+    trace: TraceMode,
+) {
     let n = 4;
     // Several balls in flight exercise the slab free list beyond the
     // single-slot case.
@@ -179,6 +206,7 @@ fn assert_zero_alloc_dispatch(plan: Option<FaultPlan>, reliability: Option<Relia
         // population peak must land inside pre-sized buffers.
         sim.reserve_events(8_192);
     }
+    sim.set_tracing(trace);
     sim.init();
 
     // Warmup: grow every buffer (outbox, heap, slab, kind table) to its

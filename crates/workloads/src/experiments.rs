@@ -203,7 +203,10 @@ pub fn fig6(loads: &[Load], seed: u64, measure_secs: f64) -> Vec<Fig6Row> {
 pub fn fig6_table(rows: &[Fig6Row]) -> Table {
     let mut t = Table::new(
         "Fig.6 average waiting time (phi = 4)",
-        &["load", "algorithm", "mean [ms]", "std [ms]", "median", "p95", "n", "censored"],
+        &[
+            "load", "algorithm", "mean [ms]", "std [ms]", "median", "p95", "p99", "p999", "n",
+            "censored",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -213,6 +216,8 @@ pub fn fig6_table(rows: &[Fig6Row]) -> Table {
             WaitStats::cell(r.wait.std_ms, 1),
             WaitStats::cell(r.wait.median_ms, 1),
             WaitStats::cell(r.wait.p95_ms, 1),
+            WaitStats::cell(r.wait.p99_ms, 1),
+            WaitStats::cell(r.wait.p999_ms, 1),
             r.wait.count.to_string(),
             r.censored.to_string(),
         ]);
@@ -336,6 +341,10 @@ pub struct FaultRow {
     /// baseline, in percent (0 at the baseline itself; `NaN` if the
     /// baseline is empty).
     pub degradation_pct: f64,
+    /// Waiting-time statistics of the granted requests; loss fattens the
+    /// tail (p99/p999) long before it moves the mean.  All-`NaN`
+    /// percentiles when every request starved (rendered `"n/a"`).
+    pub wait: WaitStats,
 }
 
 /// The [`Reliability`] used by the sweep's reliability-on mode: default
@@ -395,6 +404,7 @@ pub fn fig_faults(
             acks: res.reliability.acks_sent + res.reliability.acks_piggybacked,
             overhead_pct: res.reliability.overhead_pct(),
             degradation_pct: f64::NAN, // filled below against the baseline
+            wait: res.wait_stats(),
         }
     });
     // Baseline per (algorithm, mode): the row at the smallest swept loss
@@ -441,6 +451,9 @@ pub fn fig_faults_csv(rows: &[FaultRow]) -> Table {
             "retransmits",
             "acks",
             "overhead_pct",
+            "wait_mean_ms",
+            "wait_p99_ms",
+            "wait_p999_ms",
         ],
     );
     for r in rows {
@@ -457,6 +470,9 @@ pub fn fig_faults_csv(rows: &[FaultRow]) -> Table {
             r.retransmits.to_string(),
             r.acks.to_string(),
             format!("{:.2}", r.overhead_pct),
+            WaitStats::cell(r.wait.mean_ms, 2),
+            WaitStats::cell(r.wait.p99_ms, 2),
+            WaitStats::cell(r.wait.p999_ms, 2),
         ]);
     }
     csv
@@ -567,7 +583,7 @@ pub fn ablation_policy(phi: usize, load: Load, seed: u64, measure_secs: f64) -> 
     use mra_core::SchedulingPolicy;
     let mut t = Table::new(
         &format!("Policy A ablation (phi = {phi}, {} load)", load.label()),
-        &["policy", "use rate [%]", "mean wait [ms]", "p95 wait [ms]"],
+        &["policy", "use rate [%]", "mean wait [ms]", "p95 wait [ms]", "p99 wait [ms]"],
     );
     let rows = pool::sweep(SchedulingPolicy::all().to_vec(), |policy| {
         let sc = Scenario::builder()
@@ -584,6 +600,7 @@ pub fn ablation_policy(phi: usize, load: Load, seed: u64, measure_secs: f64) -> 
             format!("{:.1}", 100.0 * res.use_rate()),
             WaitStats::cell(w.mean_ms, 1),
             WaitStats::cell(w.p95_ms, 1),
+            WaitStats::cell(w.p99_ms, 1),
         ]
     });
     for row in rows {

@@ -89,6 +89,11 @@ pub fn run(algo: Algorithm, sc: &Scenario) -> RunResult {
 
 /// Build the fleet, optionally install the fault plan and the reliable
 /// session layer, run, collect.
+///
+/// Tracing arms from the environment (`MRA_TRACE` / `MRA_TRACE_FILE`, see
+/// [`mra_sim::obs`]); when `MRA_TRACE_FILE` is set the merged trace is
+/// written there as JSONL after the run (each run overwrites it, so point
+/// it at a per-run path when sweeping).
 fn launch<A: Allocator + Send>(
     nodes: Vec<A>,
     workload_slots: usize,
@@ -104,7 +109,16 @@ fn launch<A: Allocator + Send>(
     if let Some(rel) = reliability {
         sim.set_reliability(rel);
     }
-    sim.run()
+    sim.set_tracing(mra_sim::obs::trace_mode_from_env());
+    let res = sim.run();
+    if let (Some(path), Some(trace)) =
+        (mra_sim::obs::trace_file_from_env(), res.obs.trace.as_ref())
+    {
+        if let Err(e) = mra_sim::obs::write_jsonl_file(&path, trace, &res.algo, res.n, res.m) {
+            eprintln!("mra-workloads: writing trace to {path} failed: {e}");
+        }
+    }
+    res
 }
 
 /// [`run`] with an optional [`FaultPlan`] threaded into the simulator —

@@ -16,6 +16,9 @@
 //! * [`net`] — the real TCP transport: wire framing, the full-socket mesh,
 //!   the loopback cluster harness and the solo node runtime behind the
 //!   `mra-node` binary.
+//! * [`obs`] — the observability layer: causal event tracing (Lamport
+//!   stamps, JSONL export, consistency checks), log2-bucketed live
+//!   histograms and per-link network counters, shared by all substrates.
 //! * [`protocol`] — the engine-independent `Allocator` interface, the
 //!   binary wire codec and a randomized virtual network for testing.
 //! * [`sim`] — the deterministic discrete-event simulator, workload driver,
@@ -46,6 +49,7 @@ pub use mra_baselines as baselines;
 pub use mra_core as core;
 pub use mra_mutex as mutex;
 pub use mra_net as net;
+pub use mra_obs as obs;
 pub use mra_protocol as protocol;
 pub use mra_sim as sim;
 pub use mra_types as types;

@@ -13,10 +13,19 @@
 //!
 //! The fault decisions are counter-hashed from the plan seed
 //! (`mra_protocol::faults`), so every failing case replays exactly.
+//!
+//! Every run additionally executes with **unbounded causal tracing armed**
+//! (`mra::obs`), and the captured trace must pass every structural check in
+//! [`mra::obs::check_events`] — no recv without a prior send, per-node
+//! Lamport clocks strictly increasing, every recv's clock beyond its cause,
+//! and per-link frame conservation — under any drop/dup plan, with or
+//! without the reliable session layer.
 
 use mra::baselines::{BouabdallahLaforest, Central, GrantPolicy, Incremental, Maddi};
 use mra::core::LassConfig;
+use mra::obs::{check_events, TraceMode};
 use mra::protocol::faults::FaultPlan;
+use mra::protocol::reliable::Reliability;
 use mra::protocol::testkit::{run_faulty_workload, ExerciseCfg, FaultyReport, VirtualNet};
 use mra::protocol::Allocator;
 use proptest::prelude::*;
@@ -24,17 +33,23 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Run one protocol fleet under `plan`; safety, conservation and
-/// fault-aware liveness are asserted inside the harness.
+/// fault-aware liveness are asserted inside the harness, and the armed
+/// trace must come back causally consistent.
 fn exercise<A: Allocator>(
     nodes: Vec<A>,
     m: usize,
     active: Option<usize>,
     phi: usize,
     plan: &FaultPlan,
+    reliable: bool,
     seed: u64,
 ) -> FaultyReport {
     let mut net = VirtualNet::new(nodes, m);
+    net.arm_tracing(TraceMode::Unbounded);
     net.install_faults(plan);
+    if reliable {
+        net.enable_reliability(Reliability::default());
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let cfg = ExerciseCfg {
         rounds_per_node: 3,
@@ -44,7 +59,20 @@ fn exercise<A: Allocator>(
         active_nodes: active,
         step_cap: 2_000_000,
     };
-    run_faulty_workload(&mut net, &cfg, &mut rng)
+    let report = run_faulty_workload(&mut net, &cfg, &mut rng);
+    let obs = net.take_obs();
+    let trace = obs.trace.expect("tracing was armed");
+    // Unbounded mode never overwrites, so the full positional checks run.
+    assert_eq!(trace.dropped, 0);
+    let check = check_events(&trace.to_owned_events(), trace.dropped);
+    assert!(
+        check.ok(),
+        "CAUSAL VIOLATIONS: {} over {} events (reliable={reliable}): {:?}",
+        check.violations,
+        check.events,
+        check.details
+    );
+    report
 }
 
 /// One full sweep of the six-algorithm matrix under one plan.  Returns the
@@ -53,17 +81,18 @@ fn matrix(n: usize, m: usize, phi: usize, plan: &FaultPlan, seed: u64) -> Vec<u6
     let mut lass_loan = LassConfig::with_loan(n, m);
     lass_loan.loan = Some(1);
     let reports = [
-        exercise(Incremental::build_nodes(n, m), m, None, phi, plan, seed),
-        exercise(BouabdallahLaforest::build_nodes(n, m), m, None, phi, plan, seed),
+        exercise(Incremental::build_nodes(n, m), m, None, phi, plan, false, seed),
+        exercise(BouabdallahLaforest::build_nodes(n, m), m, None, phi, plan, false, seed),
         exercise(
             LassConfig::without_loan(n, m).build_nodes(),
             m,
             None,
             phi,
             plan,
+            false,
             seed,
         ),
-        exercise(lass_loan.build_nodes(), m, None, phi, plan, seed),
+        exercise(lass_loan.build_nodes(), m, None, phi, plan, false, seed),
         // `build_nodes(n)` appends one passive coordinator node.
         exercise(
             Central::build_nodes(n, GrantPolicy::Conservative),
@@ -71,9 +100,10 @@ fn matrix(n: usize, m: usize, phi: usize, plan: &FaultPlan, seed: u64) -> Vec<u6
             Some(n),
             phi,
             plan,
+            false,
             seed,
         ),
-        exercise(Maddi::build_nodes(n, m), m, None, phi, plan, seed),
+        exercise(Maddi::build_nodes(n, m), m, None, phi, plan, false, seed),
     ];
     reports.iter().map(|r| r.cs_completed).collect()
 }
@@ -128,5 +158,30 @@ proptest! {
     ) {
         let plan = FaultPlan::new(fault_seed).drop_rate(drop);
         let _ = matrix(n, m, 2, &plan, seed);
+    }
+
+    /// Causality under recovery: with the session layer on, retransmitted
+    /// frames carry **fresh** Lamport stamps, and the trace — sends,
+    /// retransmissions, fault verdicts and all — must still pass every
+    /// structural check while liveness is fully restored (`exercise`
+    /// asserts both).  LASS with loan and Bouabdallah–Laforest cover the
+    /// counter-based and token-based protocol families.
+    #[test]
+    fn reliable_recovery_traces_stay_causally_consistent(
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        drop in 0.0f64..0.30,
+        dup in 0.0f64..0.20,
+        n in 3usize..6,
+        m in 3usize..8,
+    ) {
+        let plan = FaultPlan::new(fault_seed).drop_rate(drop).dup_rate(dup);
+        let mut lass_loan = LassConfig::with_loan(n, m);
+        lass_loan.loan = Some(1);
+        let a = exercise(lass_loan.build_nodes(), m, None, 3, &plan, true, seed);
+        let b = exercise(BouabdallahLaforest::build_nodes(n, m), m, None, 3, &plan, true, seed);
+        // Recoverable plan + session layer: liveness is owed again.
+        prop_assert_eq!(a.cs_completed as usize, 3 * n);
+        prop_assert_eq!(b.cs_completed as usize, 3 * n);
     }
 }
