@@ -69,6 +69,96 @@ pub struct EngineBenchEntry {
     pub trace_overhead_pct: f64,
 }
 
+/// One transport-throughput measurement of the `bench_net` target: a
+/// whole loopback cluster run on one backend, with the counters every
+/// node's transport folded into the run report.
+#[derive(Clone, Debug)]
+pub struct NetBenchEntry {
+    /// Measurement label, e.g. `lass_loan_8n_reactor`.
+    pub scenario: String,
+    /// Transport backend (`reactor` or `threaded`).
+    pub backend: String,
+    /// Algorithm name as reported by the run.
+    pub algo: String,
+    /// Cluster size (nodes).
+    pub nodes: usize,
+    /// First-transmission frames sent across the cluster.
+    pub frames_out: u64,
+    /// Everything that hit the wire: first transmissions + retransmits +
+    /// standalone acks.
+    pub wire_frames: u64,
+    /// `write(2)` calls across the cluster.
+    pub write_calls: u64,
+    /// `read(2)` calls across the cluster.
+    pub read_calls: u64,
+    /// Wall-clock nanoseconds of the cluster run.
+    pub wall_ns: u64,
+    /// Process CPU nanoseconds (user + system) consumed by the run — the
+    /// denominator of the headline rate, so "per core" means per core
+    /// actually burned, not per core present.
+    pub cpu_ns: u64,
+    /// The headline metric: wire frames moved per CPU-second.
+    pub frames_per_sec_per_core: f64,
+    /// The coalescing metric: read+write syscalls per wire frame.  Below
+    /// 1.0 means batching beats one-syscall-per-frame.
+    pub syscalls_per_frame: f64,
+    /// Wire frames per `write(2)` call (write-side coalescing factor).
+    pub frames_per_write: f64,
+    /// Critical sections completed (sanity that the run did real work).
+    pub cs_completed: u64,
+}
+
+/// Serialize `entries` as `BENCH_net.json` at the repo root (the tracked
+/// transport perf-trajectory data point) and return the path written.
+/// Same hand-rolled flat JSON as [`write_bench_engine_json`].
+pub fn write_bench_net_json(entries: &[NetBenchEntry], mode: &str) -> std::io::Result<PathBuf> {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    fn num(v: f64, decimals: usize) -> String {
+        if v.is_finite() {
+            format!("{v:.decimals$}")
+        } else {
+            "0.0".into()
+        }
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"bench_net\",\n");
+    out.push_str("  \"unit\": \"frames_per_sec_per_core\",\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", esc(mode)));
+    out.push_str("  \"results\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"backend\": \"{}\", \"algo\": \"{}\", \
+             \"nodes\": {}, \"frames_out\": {}, \"wire_frames\": {}, \
+             \"write_calls\": {}, \"read_calls\": {}, \"wall_ns\": {}, \
+             \"cpu_ns\": {}, \"frames_per_sec_per_core\": {}, \
+             \"syscalls_per_frame\": {}, \"frames_per_write\": {}, \
+             \"cs_completed\": {}}}{}\n",
+            esc(&e.scenario),
+            esc(&e.backend),
+            esc(&e.algo),
+            e.nodes,
+            e.frames_out,
+            e.wire_frames,
+            e.write_calls,
+            e.read_calls,
+            e.wall_ns,
+            e.cpu_ns,
+            num(e.frames_per_sec_per_core, 1),
+            num(e.syscalls_per_frame, 4),
+            num(e.frames_per_write, 4),
+            e.cs_completed,
+            if i + 1 < entries.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = repo_root().join("BENCH_net.json");
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
 /// Serialize `entries` as `BENCH_engine.json` at the repo root (the
 /// tracked perf-trajectory data point) and return the path written.
 ///

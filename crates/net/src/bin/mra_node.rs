@@ -18,7 +18,7 @@
 use mra_baselines::{BouabdallahLaforest, Central, GrantPolicy, Incremental, Maddi};
 use mra_core::LassConfig;
 use mra_net::{
-    run_solo_node, run_tcp_cluster, PeerDirectory, SoloConfig, TcpClusterConfig,
+    run_solo_node, run_tcp_cluster, NetBackend, PeerDirectory, SoloConfig, TcpClusterConfig,
 };
 use mra_protocol::faults::FaultPlan;
 use mra_protocol::reliable::Reliability;
@@ -49,12 +49,20 @@ OPTIONS:
   --solo             run a single node instead of a loopback cluster
   --id I             this node's id (solo mode)
   --peers LIST       comma-separated host:port per node id (solo mode)
-  --metrics          dump each node's transport counters (frames/bytes per
-                     direction and kind, retransmissions, RTO fires) to
-                     stderr on shutdown
+  --metrics          dump each node's transport counters (frames/bytes and
+                     syscalls per direction, coalescing ratios, frame
+                     kinds, retransmissions, RTO fires) to stderr on
+                     shutdown
   --help             print this help
 
 ENVIRONMENT:
+  MRA_NET_REACTOR=B  choose the TCP transport: truthy pins the readiness-
+                     polled reactor (one thread + one poller per node,
+                     coalesced writes — the default on unix), falsy pins
+                     the thread-per-connection baseline
+  MRA_NET_THREADS=1  shorthand for the threaded baseline (loses to an
+                     explicit MRA_NET_REACTOR); every process of one
+                     cluster must pick the same backend
   MRA_LOSS=P         install the frame-level fault shim: drop each inbound
                      protocol frame with probability P (deterministic per
                      link).  Without MRA_RELIABLE lost tokens are never
@@ -234,6 +242,7 @@ where
                 faults,
                 reliability,
                 metrics: opts.metrics,
+                backend: NetBackend::from_env(),
             },
         )
         .unwrap_or_else(|e| die(&format!("transport setup failed: {e}")))
@@ -251,6 +260,7 @@ where
                 faults,
                 reliability,
                 metrics: opts.metrics,
+                backend: NetBackend::from_env(),
             },
         )
     }

@@ -14,7 +14,12 @@
 //!   enforced by the protocols themselves (the monitor can only see the
 //!   local node).
 
-use crate::transport::{connect_mesh, MeshConfig, PeerDirectory, PortCtrl, TcpPort};
+use crate::reactor::{connect_reactor_mesh, ReactorPort};
+use crate::sys;
+use crate::transport::{
+    connect_mesh, MeshConfig, NetBackend, PeerDirectory, PortCtrl, TcpPort,
+};
+use mra_obs::NetCounters;
 use mra_protocol::faults::FaultPlan;
 use mra_protocol::reliable::Reliability;
 use mra_protocol::{Allocator, WireCodec};
@@ -24,7 +29,7 @@ use mra_types::{NodeId, Time};
 use std::io;
 use std::net::TcpListener;
 use std::sync::atomic::AtomicUsize;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Configuration of a loopback TCP cluster run.
@@ -53,10 +58,15 @@ pub struct TcpClusterConfig {
     /// Per-node transport counter dump to stderr when each port shuts
     /// down (see [`MeshConfig::metrics`]).
     pub metrics: bool,
+    /// Which transport moves the frames ([`NetBackend::from_env`] by
+    /// default: the reactor on unix, overridable with `MRA_NET_REACTOR` /
+    /// `MRA_NET_THREADS`).
+    pub backend: NetBackend,
 }
 
 impl TcpClusterConfig {
-    /// `rounds` cycles on every node, no artificial latency, no faults.
+    /// `rounds` cycles on every node, no artificial latency, no faults,
+    /// transport backend from the environment.
     pub fn new(rounds: usize, seed: u64) -> Self {
         TcpClusterConfig {
             rounds,
@@ -66,8 +76,55 @@ impl TcpClusterConfig {
             faults: None,
             reliability: None,
             metrics: false,
+            backend: NetBackend::from_env(),
         }
     }
+}
+
+/// Connect the chosen backend's mesh and drive the node loop over it.
+/// The two port types are distinct (one owns reader threads, the other a
+/// reactor handle), so the dispatch happens here — once — instead of at
+/// every harness.
+#[allow(clippy::too_many_arguments)]
+fn drive_over_backend<A, W>(
+    backend: NetBackend,
+    me: NodeId,
+    n: usize,
+    listener: TcpListener,
+    dir: &PeerDirectory,
+    ctrl: PortCtrl,
+    mesh: MeshConfig,
+    proto: A,
+    workload: W,
+    shared: &RunShared,
+    node_cfg: NodeCfg,
+) -> io::Result<()>
+where
+    A: Allocator + Send + 'static,
+    A::Msg: WireCodec,
+    W: Workload + 'static,
+{
+    match backend {
+        NetBackend::Reactor => {
+            let port: ReactorPort<A::Msg> =
+                connect_reactor_mesh(me, listener, dir, ctrl, mesh)?;
+            drive_node(me, n, proto, workload, port, shared, node_cfg);
+        }
+        NetBackend::Threaded => {
+            let port: TcpPort<A::Msg> = connect_mesh(me, listener, dir, ctrl, mesh)?;
+            drive_node(me, n, proto, workload, port, shared, node_cfg);
+        }
+    }
+    Ok(())
+}
+
+/// File descriptors an `n`-node loopback cluster needs inside one
+/// process, with headroom: both connection endpoints live here, plus
+/// listeners, wake pipes and poller fds.  The threaded topology's
+/// `2·n·(n-1)` endpoints dominate; the reactor halves that but the bound
+/// must cover whichever backend runs.
+fn fd_budget(n: usize) -> u64 {
+    (2 * n * n + 6 * n + 64) as u64
 }
 
 /// Run `protos` as an N-node cluster over loopback TCP until every active
@@ -109,14 +166,25 @@ where
             .collect(),
     );
 
+    // Big meshes exceed the default soft RLIMIT_NOFILE long before they
+    // exceed the hard one; bump it best-effort (256 nodes ≈ 66 k fds).
+    let _ = sys::raise_nofile_limit(fd_budget(n));
+
     let shared = Arc::new(RunShared::new(n, m));
     let remaining = Arc::new(AtomicUsize::new(active));
+    // One counters slot per node: each port publishes its transport
+    // tallies there (reactor: every iteration; threaded: on drop) and the
+    // harness folds them into the run's observability report.
+    let slots: Vec<Arc<Mutex<NetCounters>>> = (0..n)
+        .map(|_| Arc::new(Mutex::new(NetCounters::default())))
+        .collect();
     let mesh = MeshConfig {
         extra_latency: cfg.extra_latency,
         connect_timeout: Duration::from_secs(10),
         faults: cfg.faults.clone(),
         reliability: cfg.reliability,
         metrics: cfg.metrics,
+        counters_slot: None,
     };
 
     let algo = protos[0].name().to_string();
@@ -130,7 +198,11 @@ where
         let shared = Arc::clone(&shared);
         let dir = dir.clone();
         let remaining = Arc::clone(&remaining);
-        let mesh = mesh.clone();
+        let mesh = MeshConfig {
+            counters_slot: Some(Arc::clone(&slots[i])),
+            ..mesh.clone()
+        };
+        let backend = cfg.backend;
         let node_cfg = NodeCfg {
             rounds: cfg.rounds,
             seed: cfg.seed,
@@ -140,15 +212,20 @@ where
             std::thread::Builder::new()
                 .name(format!("mra-tcp-node-{i}"))
                 .spawn(move || {
-                    let port: TcpPort<A::Msg> = connect_mesh(
+                    drive_over_backend(
+                        backend,
                         i,
+                        n,
                         listener,
                         &dir,
                         PortCtrl::Cluster(remaining),
                         mesh,
+                        proto,
+                        workload,
+                        &shared,
+                        node_cfg,
                     )
                     .expect("TCP mesh setup");
-                    drive_node(i, n, proto, workload, port, &shared, node_cfg);
                 })
                 .expect("spawn node thread"),
         );
@@ -160,7 +237,10 @@ where
     let end = shared.now();
     let shared = Arc::try_unwrap(shared)
         .unwrap_or_else(|_| panic!("thread leaked a RunShared reference"));
-    let obs = shared.finish_obs();
+    let mut obs = shared.finish_obs();
+    for slot in &slots {
+        obs.net.merge(&slot.lock().unwrap_or_else(|e| e.into_inner()));
+    }
     // Post-run conservation: every node finished outside its CS, so the
     // holder table must be empty — a leak here means a grant/release pair
     // corrupted it (the monitor's exit check is a hard assert in release
@@ -206,6 +286,11 @@ pub struct SoloConfig {
     /// Transport counter dump to stderr when the port shuts down (see
     /// [`MeshConfig::metrics`]; `mra-node --metrics` / `MRA_METRICS=1`).
     pub metrics: bool,
+    /// Which transport moves the frames (`MRA_NET_REACTOR` /
+    /// `MRA_NET_THREADS` via [`NetBackend::from_env`]).  Backends
+    /// interoperate on the wire only within the same topology, so every
+    /// process of one cluster must choose the same backend.
+    pub backend: NetBackend,
 }
 
 /// Run node `me` of a multi-process cluster on the current thread,
@@ -232,10 +317,19 @@ where
     assert!(cfg.active >= 1 && cfg.active <= n);
 
     let listener = TcpListener::bind(dir.addr(me))?;
+    let _ = sys::raise_nofile_limit((4 * n + 64) as u64);
     let shared = RunShared::new(n, m);
     let algo = proto.name().to_string();
-    let port: TcpPort<A::Msg> = connect_mesh(
+    let slot = Arc::new(Mutex::new(NetCounters::default()));
+    let node_cfg = NodeCfg {
+        rounds: cfg.rounds,
+        seed: cfg.seed,
+        is_active: me < cfg.active,
+    };
+    drive_over_backend(
+        cfg.backend,
         me,
+        n,
         listener,
         dir,
         PortCtrl::Solo {
@@ -249,17 +343,17 @@ where
             faults: cfg.faults.clone(),
             reliability: cfg.reliability,
             metrics: cfg.metrics,
+            counters_slot: Some(Arc::clone(&slot)),
         },
+        proto,
+        workload,
+        &shared,
+        node_cfg,
     )?;
-    let node_cfg = NodeCfg {
-        rounds: cfg.rounds,
-        seed: cfg.seed,
-        is_active: me < cfg.active,
-    };
-    drive_node(me, n, proto, workload, port, &shared, node_cfg);
 
     let end = shared.now();
-    let obs = shared.finish_obs();
+    let mut obs = shared.finish_obs();
+    obs.net.merge(&slot.lock().unwrap_or_else(|e| e.into_inner()));
     let mut res = shared
         .collector
         .into_inner()
@@ -424,6 +518,7 @@ mod tests {
                         faults: None,
                         reliability: None,
                         metrics: false,
+                        backend: NetBackend::from_env(),
                     },
                 )
                 .expect("solo node run")

@@ -8,9 +8,14 @@
 //! mpsc runtime assume.
 //!
 //! A connection opens with a 4-byte handshake: the connector's `NodeId` as
-//! `u32 LE`.  Links are used unidirectionally (each ordered node pair has
-//! its own connection), so the handshake is all the receiver ever needs to
-//! attribute traffic.
+//! `u32 LE`.  The threaded transport uses links unidirectionally (each
+//! ordered node pair has its own connection); the reactor transport runs
+//! one **bidirectional** connection per unordered pair.  Either way the
+//! handshake is all the receiver needs to attribute traffic.
+//!
+//! Two decoders share the wire format: [`read_frame`] (blocking, one
+//! reader thread per connection) and [`FrameBuf`] (incremental, for
+//! nonblocking sockets under the reactor).
 
 use mra_types::NodeId;
 use std::io::{self, Read, Write};
@@ -140,6 +145,101 @@ pub fn split_rdata(payload: &[u8]) -> io::Result<(u64, u64, &[u8])> {
     Ok((seq, ack, &payload[RDATA_HEADER..]))
 }
 
+/// Incremental frame decoder for nonblocking sockets.
+///
+/// [`read_frame`] assumes it may block until a whole frame arrives — fine
+/// for one reader thread per connection, useless under a readiness-polled
+/// reactor where a read returns *whatever bytes the kernel has*, cutting
+/// frames anywhere (mid-length-word, mid-payload, three frames at once).
+/// `FrameBuf` accumulates those arbitrary chunks and yields complete
+/// frames in the same `scratch` convention as [`read_frame`]: the body
+/// (tag at `[0]`, payload after) with the length word stripped.
+///
+/// The length prefix is validated **before** its frame is awaited, so a
+/// poisoned length word kills the connection immediately instead of
+/// stalling it waiting for gigabytes that never come.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    /// Backing storage.  Its *length* is a zero-initialized high-water
+    /// mark, never shrunk: valid bytes live at `buf[pos..end]`, and reads
+    /// land into already-initialized space past `end`.  Tracking `end`
+    /// separately (instead of `truncate` + `resize` around every read)
+    /// matters because `Vec::resize` re-zeroes everything past the len —
+    /// a 16 KiB memset *per read syscall* on the reactor's hot path.
+    buf: Vec<u8>,
+    /// Start of undecoded bytes in `buf`; everything before is consumed.
+    pos: usize,
+    /// End of valid bytes in `buf`.
+    end: usize,
+}
+
+/// Bytes asked of the kernel per [`FrameBuf::read_from`] call.
+const READ_CHUNK: usize = 16 * 1024;
+
+impl FrameBuf {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Issue **one** `read` against `r`, appending whatever arrives.
+    /// Returns the byte count: `Ok(0)` is EOF.  `WouldBlock` propagates
+    /// to the caller (the reactor treats it as "drained for now").
+    pub fn read_from(&mut self, r: &mut impl Read) -> io::Result<usize> {
+        self.compact();
+        // One syscall-sized chunk per call; the reactor loops while the
+        // socket stays readable, so throughput doesn't hinge on this size.
+        // Growing past the high-water mark zeroes new space once, ever.
+        if self.buf.len() < self.end + READ_CHUNK {
+            self.buf.resize(self.end + READ_CHUNK, 0);
+        }
+        let n = r.read(&mut self.buf[self.end..self.end + READ_CHUNK])?;
+        self.end += n;
+        Ok(n)
+    }
+
+    /// Decode the next complete frame into `scratch`, returning its tag —
+    /// or `Ok(None)` if the buffered bytes don't yet hold a whole frame.
+    /// Mirrors [`read_frame`]'s contract: `scratch` ends up holding the
+    /// frame body, payload at `&scratch[1..]`.
+    pub fn next_frame_into(&mut self, scratch: &mut Vec<u8>) -> io::Result<Option<u8>> {
+        let avail = &self.buf[self.pos..self.end];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes")) as usize;
+        if len == 0 || len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} out of range"),
+            ));
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        scratch.clear();
+        scratch.extend_from_slice(&avail[4..4 + len]);
+        self.pos += 4 + len;
+        Ok(Some(scratch[0]))
+    }
+
+    /// Bytes buffered but not yet decoded (partial frame tail).
+    pub fn pending(&self) -> usize {
+        self.end - self.pos
+    }
+
+    /// Slide unconsumed bytes to the front so the buffer doesn't grow
+    /// without bound on a long-lived connection.  Cheap: a `copy_within`
+    /// of at most one partial frame, and a no-op when fully drained.
+    fn compact(&mut self) {
+        if self.pos == 0 {
+            return;
+        }
+        self.buf.copy_within(self.pos..self.end, 0);
+        self.end -= self.pos;
+        self.pos = 0;
+    }
+}
+
 /// Parse a [`TAG_RACK`] payload (`scratch[1..]`) into its ack value.
 pub fn split_rack(payload: &[u8]) -> io::Result<u64> {
     if payload.len() != 8 {
@@ -239,6 +339,65 @@ mod tests {
         assert_eq!(tag, TAG_RACK);
         assert_eq!(split_rack(&scratch[1..]).unwrap(), 9);
         assert!(split_rack(b"short").is_err());
+    }
+
+    #[test]
+    fn framebuf_decodes_across_arbitrary_chunk_boundaries() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, TAG_MSG, b"hello").unwrap();
+        write_frame(&mut wire, TAG_RACK, &9u64.to_le_bytes()).unwrap();
+        write_frame(&mut wire, TAG_DONE, b"").unwrap();
+        // Feed one byte at a time — the worst possible dribble.
+        let mut fb = FrameBuf::new();
+        let mut scratch = Vec::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            let mut one = Cursor::new(std::slice::from_ref(b));
+            assert_eq!(fb.read_from(&mut one).unwrap(), 1);
+            while let Some(tag) = fb.next_frame_into(&mut scratch).unwrap() {
+                got.push((tag, scratch[1..].to_vec()));
+            }
+        }
+        assert_eq!(
+            got,
+            vec![
+                (TAG_MSG, b"hello".to_vec()),
+                (TAG_RACK, 9u64.to_le_bytes().to_vec()),
+                (TAG_DONE, vec![]),
+            ]
+        );
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn framebuf_decodes_many_frames_from_one_read() {
+        let mut wire = Vec::new();
+        for i in 0..10u8 {
+            write_frame(&mut wire, TAG_MSG, &[i; 3]).unwrap();
+        }
+        let mut fb = FrameBuf::new();
+        let mut r = Cursor::new(&wire);
+        assert_eq!(fb.read_from(&mut r).unwrap(), wire.len());
+        let mut scratch = Vec::new();
+        for i in 0..10u8 {
+            assert_eq!(fb.next_frame_into(&mut scratch).unwrap(), Some(TAG_MSG));
+            assert_eq!(&scratch[1..], &[i; 3]);
+        }
+        assert_eq!(fb.next_frame_into(&mut scratch).unwrap(), None);
+    }
+
+    #[test]
+    fn framebuf_rejects_poisoned_length_before_waiting_for_payload() {
+        for poison in [0u32, u32::MAX, MAX_FRAME as u32 + 1] {
+            let mut fb = FrameBuf::new();
+            let bytes = poison.to_le_bytes();
+            fb.read_from(&mut Cursor::new(&bytes)).unwrap();
+            let mut scratch = Vec::new();
+            let err = fb
+                .next_frame_into(&mut scratch)
+                .expect_err("poisoned length must fail immediately");
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{poison:#x}");
+        }
     }
 
     #[test]

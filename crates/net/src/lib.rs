@@ -15,12 +15,22 @@
 //!   [`WireCodec`](mra_protocol::WireCodec) implementations that live
 //!   next to each protocol's message types (no serde: the wire format is
 //!   specified in `mra_protocol::wire`).
-//! * [`transport`] — the full TCP mesh: one framed connection per ordered
-//!   node pair (per-link FIFO for free), a peer directory
+//! * [`transport`] — the threaded TCP mesh: one framed connection per
+//!   ordered node pair (per-link FIFO for free), a peer directory
 //!   (`NodeId → SocketAddr`), reader threads, and transport-level
 //!   shutdown coordination.  Implements [`mra_sim::NodePort`], the same
 //!   abstraction the mpsc runtime uses, so both substrates are backends
 //!   of one shared node loop (`mra_sim::runtime`).
+//! * [`reactor`] — the readiness-polled transport (the default): one
+//!   reactor thread per node drives every peer socket through the
+//!   [`polling`] epoll/kqueue shim, with one **bidirectional** connection
+//!   per unordered pair, write coalescing (many frames + piggybacked
+//!   acks per `write(2)`), and reliability RTOs on the reactor's timer
+//!   wheel.  Select with [`NetBackend`] / `MRA_NET_REACTOR` /
+//!   `MRA_NET_THREADS`.
+//! * [`sys`] — raw-FFI odds and ends `std` lacks: nonblocking
+//!   `connect(2)`, listen-backlog deepening, fd rlimit raising, process
+//!   CPU time for the frames-per-core benchmark.
 //! * [`cluster`] — harnesses: [`run_tcp_cluster`] spawns an N-node
 //!   loopback cluster in one process (with full
 //!   [`SafetyMonitor`](mra_protocol::testkit::SafetyMonitor) coverage);
@@ -55,7 +65,10 @@
 
 pub mod cluster;
 pub mod frame;
+pub mod reactor;
+pub mod sys;
 pub mod transport;
 
 pub use cluster::{run_solo_node, run_tcp_cluster, SoloConfig, TcpClusterConfig};
-pub use transport::{connect_mesh, MeshConfig, PeerDirectory, PortCtrl, TcpPort};
+pub use reactor::{connect_reactor_mesh, ReactorPort};
+pub use transport::{connect_mesh, MeshConfig, NetBackend, PeerDirectory, PortCtrl, TcpPort};

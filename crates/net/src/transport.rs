@@ -1,5 +1,9 @@
-//! The TCP mesh: per-peer framed connections implementing
-//! [`mra_sim::NodePort`].
+//! The threaded TCP mesh: per-peer framed connections implementing
+//! [`mra_sim::NodePort`], one blocking reader thread per inbound link.
+//! The readiness-polled alternative (and default) lives in
+//! [`crate::reactor`]; this module remains the baseline transport for the
+//! tracked benchmark, the shared vocabulary ([`PortCtrl`],
+//! [`NetBackend`], [`MeshConfig`]) and platforms without epoll/kqueue.
 //!
 //! Topology: every ordered node pair `(i, j)` gets its own connection,
 //! opened by `i` and used only for `i → j` traffic.  One TCP stream per
@@ -36,7 +40,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// The cluster map: `NodeId → SocketAddr` for every node.
@@ -91,7 +95,44 @@ impl PeerDirectory {
     }
 }
 
-/// How a [`TcpPort`] coordinates cluster-wide shutdown.
+/// Which TCP transport drives the mesh.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetBackend {
+    /// One reactor thread per node polls every peer socket for readiness
+    /// (`crate::reactor`): one bidirectional connection per unordered
+    /// pair, coalesced writes, RTOs on the reactor's timer wheel.  The
+    /// default on unix.
+    Reactor,
+    /// One blocking reader thread per inbound link, writes inline on the
+    /// node thread (this module).  The pre-reactor transport, kept as the
+    /// baseline for the tracked benchmark and as the only backend on
+    /// platforms without epoll/kqueue.
+    Threaded,
+}
+
+impl NetBackend {
+    /// Resolve the backend from the environment: `MRA_NET_REACTOR`
+    /// (truthy/falsy) wins when set; otherwise a truthy `MRA_NET_THREADS`
+    /// selects [`NetBackend::Threaded`]; otherwise the reactor.  Non-unix
+    /// platforms always get the threaded backend.
+    pub fn from_env() -> NetBackend {
+        fn truthy(v: &str) -> bool {
+            matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "true" | "yes" | "on")
+        }
+        if !cfg!(unix) {
+            return NetBackend::Threaded;
+        }
+        if let Ok(v) = std::env::var("MRA_NET_REACTOR") {
+            return if truthy(&v) { NetBackend::Reactor } else { NetBackend::Threaded };
+        }
+        if std::env::var("MRA_NET_THREADS").as_deref().map(truthy).unwrap_or(false) {
+            return NetBackend::Threaded;
+        }
+        NetBackend::Reactor
+    }
+}
+
+/// How a TCP port coordinates cluster-wide shutdown.
 pub enum PortCtrl {
     /// In-process loopback cluster: finishers decrement the shared count;
     /// the last one broadcasts shutdown frames.
@@ -106,6 +147,60 @@ pub enum PortCtrl {
         /// Has this node finished its own quota?
         self_done: bool,
     },
+}
+
+/// What a node that just finished its quota must do next, as decided by
+/// [`PortCtrl::self_done`].  Shared by both transports so the shutdown
+/// protocol cannot drift between them.
+pub(crate) enum DoneAct {
+    /// Every active node is done: broadcast [`TAG_SHUTDOWN`] and stop.
+    LastFinisher,
+    /// Report [`TAG_DONE`] to node 0 and keep serving the protocol.
+    ReportDone,
+    /// Keep serving until shutdown arrives.
+    Wait,
+}
+
+impl PortCtrl {
+    /// Node `me` finished its own round quota.
+    pub(crate) fn self_done(&mut self, me: NodeId) -> DoneAct {
+        match self {
+            PortCtrl::Cluster(remaining) => {
+                if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    DoneAct::LastFinisher
+                } else {
+                    DoneAct::Wait
+                }
+            }
+            PortCtrl::Solo { active, done_seen, self_done } => {
+                *self_done = true;
+                if me == 0 {
+                    *done_seen += 1;
+                    if *done_seen >= *active {
+                        DoneAct::LastFinisher
+                    } else {
+                        DoneAct::Wait
+                    }
+                } else {
+                    DoneAct::ReportDone
+                }
+            }
+        }
+    }
+
+    /// A [`TAG_DONE`] frame arrived (meaningful on solo node 0 only).
+    /// True when every active node — this one included — has finished:
+    /// time to broadcast shutdown and stop.
+    pub(crate) fn peer_done(&mut self) -> bool {
+        match self {
+            PortCtrl::Solo { active, done_seen, self_done } => {
+                *done_seen += 1;
+                *self_done && *done_seen >= *active
+            }
+            // Done frames only flow in solo deployments.
+            PortCtrl::Cluster(_) => false,
+        }
+    }
 }
 
 /// Transport-level event forwarded by reader threads to the node loop.
@@ -137,6 +232,11 @@ enum Inbound<M> {
 struct RxCounters {
     frames_in: AtomicU64,
     bytes_in: AtomicU64,
+    /// `read(2)`-equivalents: each `read_frame` costs two `read_exact`
+    /// servicings (length word, then body).  An approximation — a short
+    /// read inside `read_exact` re-reads — but loopback/LAN frames fit a
+    /// segment, so in practice it *is* the syscall count.
+    read_calls: AtomicU64,
 }
 
 /// Per-port session state (reliability on): one [`TxSession`]/[`RxSession`]
@@ -193,6 +293,8 @@ pub struct TcpPort<M> {
     /// Dump [`TcpPort::counters`] to stderr when the port drops
     /// ([`MeshConfig::metrics`], `--metrics` / `MRA_METRICS=1`).
     metrics: bool,
+    /// Publish the final counters here on drop ([`MeshConfig::counters_slot`]).
+    slot: Option<Arc<Mutex<NetCounters>>>,
 }
 
 impl<M> TcpPort<M> {
@@ -203,12 +305,16 @@ impl<M> TcpPort<M> {
         let mut c = self.counters.clone();
         c.frames_in = self.rx_counters.frames_in.load(Ordering::Relaxed);
         c.bytes_in = self.rx_counters.bytes_in.load(Ordering::Relaxed);
+        c.read_calls = self.rx_counters.read_calls.load(Ordering::Relaxed);
         c
     }
 }
 
 impl<M> Drop for TcpPort<M> {
     fn drop(&mut self) {
+        if let Some(slot) = &self.slot {
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = self.counters();
+        }
         if self.metrics {
             eprintln!("{}", self.counters().render(self.me));
         }
@@ -221,6 +327,7 @@ impl<M: Clone> TcpPort<M> {
             let _ = write_frame(w, TAG_SHUTDOWN, &[]);
             self.counters.frames_out += 1;
             self.counters.bytes_out += HEADER as u64;
+            self.counters.write_calls += 1;
             self.counters.by_kind.bump("Shutdown", 1);
         }
     }
@@ -229,8 +336,9 @@ impl<M: Clone> TcpPort<M> {
     fn write_rack(&mut self, peer: NodeId, ack: u64) {
         if let Some(w) = self.writers[peer].as_mut() {
             let _ = write_frame(w, TAG_RACK, &ack.to_le_bytes());
-            self.counters.frames_out += 1;
+            self.counters.ack_frames += 1;
             self.counters.bytes_out += (HEADER + 8) as u64;
+            self.counters.write_calls += 1;
             self.counters.by_kind.bump("RAck", 1);
         }
     }
@@ -276,15 +384,7 @@ impl<M: Clone> TcpPort<M> {
             }
             Inbound::Shutdown => Some(PortEvent::Shutdown),
             Inbound::Done => {
-                let finished = match &mut self.ctrl {
-                    PortCtrl::Solo { active, done_seen, self_done } => {
-                        *done_seen += 1;
-                        *self_done && *done_seen >= *active
-                    }
-                    // Done frames only flow in solo deployments.
-                    PortCtrl::Cluster(_) => false,
-                };
-                if finished {
+                if self.ctrl.peer_done() {
                     self.broadcast_shutdown();
                     return Some(PortEvent::Shutdown);
                 }
@@ -325,8 +425,8 @@ impl<M: Clone> TcpPort<M> {
                             end_frame(&mut self.buf, TAG_RDATA);
                             let _ = io::Write::write_all(w, &self.buf);
                             self.counters.retransmit_frames += 1;
-                            self.counters.frames_out += 1;
                             self.counters.bytes_out += self.buf.len() as u64;
+                            self.counters.write_calls += 1;
                             self.counters.by_kind.bump("RData", 1);
                         }
                     }
@@ -411,6 +511,7 @@ impl<M: WireCodec + Clone + Send> NodePort<M> for TcpPort<M> {
             let _ = io::Write::write_all(w, &self.buf);
             self.counters.frames_out += 1;
             self.counters.bytes_out += self.buf.len() as u64;
+            self.counters.write_calls += 1;
             self.counters.by_kind.bump(label, 1);
         }
     }
@@ -424,48 +525,22 @@ impl<M: WireCodec + Clone + Send> NodePort<M> for TcpPort<M> {
     }
 
     fn quota_done(&mut self) -> bool {
-        enum Act {
-            LastFinisher,
-            ReportDone,
-            Wait,
-        }
-        let act = match &mut self.ctrl {
-            PortCtrl::Cluster(remaining) => {
-                if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                    Act::LastFinisher
-                } else {
-                    Act::Wait
-                }
-            }
-            PortCtrl::Solo { active, done_seen, self_done } => {
-                *self_done = true;
-                if self.me == 0 {
-                    *done_seen += 1;
-                    if *done_seen >= *active {
-                        Act::LastFinisher
-                    } else {
-                        Act::Wait
-                    }
-                } else {
-                    Act::ReportDone
-                }
-            }
-        };
-        match act {
-            Act::LastFinisher => {
+        match self.ctrl.self_done(self.me) {
+            DoneAct::LastFinisher => {
                 self.broadcast_shutdown();
                 true
             }
-            Act::ReportDone => {
+            DoneAct::ReportDone => {
                 if let Some(w) = self.writers[0].as_mut() {
                     let _ = write_frame(w, TAG_DONE, &[]);
                     self.counters.frames_out += 1;
                     self.counters.bytes_out += HEADER as u64;
+                    self.counters.write_calls += 1;
                     self.counters.by_kind.bump("Done", 1);
                 }
                 false
             }
-            Act::Wait => false,
+            DoneAct::Wait => false,
         }
     }
 }
@@ -510,6 +585,12 @@ pub struct MeshConfig {
     /// kind, retransmissions, RTO fires) to stderr when the port drops.
     /// Fed by `mra-node --metrics` / `MRA_METRICS=1`.
     pub metrics: bool,
+    /// Where the transport publishes its final [`NetCounters`]: loopback
+    /// harnesses hand each node a slot and merge them into the run's
+    /// observability report after the port drops.  The reactor backend
+    /// additionally refreshes the slot every iteration, so it can be read
+    /// live.  `None` keeps the counters port-local.
+    pub counters_slot: Option<Arc<Mutex<NetCounters>>>,
 }
 
 impl Default for MeshConfig {
@@ -520,6 +601,7 @@ impl Default for MeshConfig {
             faults: None,
             reliability: None,
             metrics: false,
+            counters_slot: None,
         }
     }
 }
@@ -607,6 +689,7 @@ where
         counters: NetCounters::default(),
         rx_counters,
         metrics: cfg.metrics,
+        slot: cfg.counters_slot,
     })
 }
 
@@ -637,6 +720,7 @@ fn reader_loop<M: WireCodec + Clone>(
             // On-wire size = 4-byte length prefix + body (tag + payload).
             tallies.frames_in.fetch_add(1, Ordering::Relaxed);
             tallies.bytes_in.fetch_add(scratch.len() as u64 + 4, Ordering::Relaxed);
+            tallies.read_calls.fetch_add(2, Ordering::Relaxed);
         }
         let event = match got {
             Ok(TAG_MSG) if !reliable => match M::from_bytes(&scratch[1..]) {

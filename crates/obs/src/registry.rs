@@ -64,6 +64,16 @@ pub struct NetCounters {
     pub retransmit_frames: u64,
     /// Retransmission-timer expiries serviced.
     pub rto_fires: u64,
+    /// `write(2)` calls issued for frame traffic.  Under the coalescing
+    /// reactor many frames share one call; the threaded transport issues
+    /// one per frame.  `frames_out + retransmit_frames + standalone acks`
+    /// divided by this is the coalescing ratio.
+    pub write_calls: u64,
+    /// `read(2)` calls issued for frame traffic (the blocking transport
+    /// counts each `read_exact` servicing as one).
+    pub read_calls: u64,
+    /// Standalone ack frames sent (not piggybacked on data).
+    pub ack_frames: u64,
     /// Outbound frames by protocol message type.
     pub by_kind: KindCounts,
 }
@@ -76,7 +86,31 @@ impl NetCounters {
         self.bytes_in += other.bytes_in;
         self.retransmit_frames += other.retransmit_frames;
         self.rto_fires += other.rto_fires;
+        self.write_calls += other.write_calls;
+        self.read_calls += other.read_calls;
+        self.ack_frames += other.ack_frames;
         self.by_kind.merge(&other.by_kind);
+    }
+
+    /// Every frame that hit the wire outbound: first transmissions,
+    /// retransmissions and standalone acks.
+    pub fn wire_frames_out(&self) -> u64 {
+        self.frames_out + self.retransmit_frames + self.ack_frames
+    }
+
+    /// Outbound frames per `write(2)` call — the coalescing ratio.
+    /// 1.0 for the threaded transport by construction; > 1.0 when the
+    /// reactor batches.  `None` before any write happened.
+    pub fn frames_per_write(&self) -> Option<f64> {
+        (self.write_calls > 0).then(|| self.wire_frames_out() as f64 / self.write_calls as f64)
+    }
+
+    /// I/O syscalls (reads + writes) per frame moved in either direction.
+    /// The tentpole acceptance metric: < 1.0 means coalescing amortizes
+    /// syscall cost below one per frame.  `None` before any frame moved.
+    pub fn syscalls_per_frame(&self) -> Option<f64> {
+        let frames = self.wire_frames_out() + self.frames_in;
+        (frames > 0).then(|| (self.write_calls + self.read_calls) as f64 / frames as f64)
     }
 
     /// One-line-per-field snapshot for `--metrics` / `MRA_METRICS=1`
@@ -93,6 +127,17 @@ impl NetCounters {
             self.retransmit_frames,
             self.rto_fires
         );
+        if self.write_calls > 0 || self.read_calls > 0 {
+            out.push_str(&format!(
+                "metrics[{}]: write_calls={} read_calls={} ack_frames={} frames_per_write={:.2} syscalls_per_frame={:.2}\n",
+                node,
+                self.write_calls,
+                self.read_calls,
+                self.ack_frames,
+                self.frames_per_write().unwrap_or(0.0),
+                self.syscalls_per_frame().unwrap_or(0.0),
+            ));
+        }
         if !self.by_kind.is_empty() {
             out.push_str(&format!("metrics[{node}]: by_kind"));
             for (tag, n) in self.by_kind.sorted() {
@@ -146,5 +191,29 @@ mod tests {
         let s = a.render(7);
         assert!(s.contains("metrics[7]: frames_out=3 bytes_out=120 frames_in=2 bytes_in=64 retransmits=1 rto_fires=1"));
         assert!(s.contains("by_kind Req=3"));
+        // No syscall line until a transport reports calls.
+        assert!(!s.contains("write_calls"));
+    }
+
+    #[test]
+    fn syscall_ratios_expose_coalescing() {
+        let mut c = NetCounters::default();
+        assert_eq!(c.frames_per_write(), None);
+        assert_eq!(c.syscalls_per_frame(), None);
+        // 6 data frames + 1 retransmit + 1 standalone ack over 2 writes,
+        // 8 inbound frames over 2 reads: reactor-style batching.
+        c.frames_out = 6;
+        c.retransmit_frames = 1;
+        c.ack_frames = 1;
+        c.write_calls = 2;
+        c.frames_in = 8;
+        c.read_calls = 2;
+        assert_eq!(c.wire_frames_out(), 8);
+        assert_eq!(c.frames_per_write(), Some(4.0));
+        assert_eq!(c.syscalls_per_frame(), Some(0.25));
+        let s = c.render(0);
+        assert!(s.contains(
+            "write_calls=2 read_calls=2 ack_frames=1 frames_per_write=4.00 syscalls_per_frame=0.25"
+        ));
     }
 }

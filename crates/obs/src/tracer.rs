@@ -137,6 +137,9 @@ pub struct ObsReport {
     pub queue_depth: LogHist,
     /// The captured event log, if a capturing mode was armed.
     pub trace: Option<TraceLog>,
+    /// Aggregate transport counters (all-zero for substrates with no real
+    /// wire: the TCP harnesses fill this in after the run).
+    pub net: crate::NetCounters,
 }
 
 /// The capture engine.  See the module docs for the ordering and
@@ -414,7 +417,7 @@ impl EngineTracer {
         } else {
             None
         };
-        ObsReport { armed, wait, msg_latency, queue_depth, trace }
+        ObsReport { armed, wait, msg_latency, queue_depth, trace, net: Default::default() }
     }
 
     /// Merge this tracer's histograms into `report` and append its raw

@@ -333,6 +333,58 @@ impl RxSession {
     }
 }
 
+/// [`RxSession`] plus the ack-owed flag, at per-pair granularity: the
+/// transport-side analogue of the per-link `ack_owed` bookkeeping inside
+/// [`ReliableState`].  Transports that own one session per peer (the TCP
+/// ports) use this to *batch* acks — an owed ack rides piggybacked on the
+/// next outbound data frame, or is flushed as one standalone ack frame
+/// per servicing pass, instead of one ack write per received frame.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RxBatch {
+    sess: RxSession,
+    owed: bool,
+}
+
+impl RxBatch {
+    /// Classify an arriving sequence number.  Every data frame — delivered,
+    /// stale or gap — marks an ack owed: duplicates must be re-acked (the
+    /// ack that would have cleared them may have been lost), and re-acking
+    /// on a gap costs nothing since the flag batches.
+    pub fn accept(&mut self, seq: u64) -> RxVerdict {
+        self.owed = true;
+        self.sess.accept(seq)
+    }
+
+    /// The cumulative ack value: every `seq < cum()` has been delivered.
+    pub fn cum(&self) -> u64 {
+        self.sess.cum()
+    }
+
+    /// Is a cumulative ack owed to the peer?
+    pub fn ack_owed(&self) -> bool {
+        self.owed
+    }
+
+    /// The piggyback ack for an outbound data frame.  Consumes the owed
+    /// flag: the data frame carries the ack, so no standalone ack is due.
+    pub fn piggyback(&mut self) -> u64 {
+        self.owed = false;
+        self.sess.cum()
+    }
+
+    /// Consume the owed flag and return the value to send as a standalone
+    /// ack frame, or `None` when nothing is owed (e.g. a data frame just
+    /// piggybacked it).  Call once per servicing pass, after all sends.
+    pub fn take_owed(&mut self) -> Option<u64> {
+        if self.owed {
+            self.owed = false;
+            Some(self.sess.cum())
+        } else {
+            None
+        }
+    }
+}
+
 /// A session-layer frame as it travels a link.  Engines whose links carry
 /// typed messages (`VirtualNet`) enqueue these; the TCP transport encodes
 /// the same three shapes as wire frames.
@@ -576,6 +628,36 @@ impl<M: Clone> ReliableState<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rx_batch_owes_one_ack_per_servicing_pass() {
+        let mut rx = RxBatch::default();
+        assert!(!rx.ack_owed());
+        assert_eq!(rx.take_owed(), None);
+
+        // A burst of in-order frames owes exactly one cumulative ack.
+        assert_eq!(rx.accept(0), RxVerdict::Deliver);
+        assert_eq!(rx.accept(1), RxVerdict::Deliver);
+        assert_eq!(rx.accept(2), RxVerdict::Deliver);
+        assert!(rx.ack_owed());
+        assert_eq!(rx.take_owed(), Some(3));
+        assert_eq!(rx.take_owed(), None, "flag consumed");
+
+        // A duplicate re-owes an ack (the clearing ack may have been lost).
+        assert_eq!(rx.accept(1), RxVerdict::Stale);
+        assert_eq!(rx.take_owed(), Some(3));
+
+        // Piggybacking onto outbound data consumes the flag too: no
+        // standalone ack follows a data frame that already carried it.
+        assert_eq!(rx.accept(3), RxVerdict::Deliver);
+        assert_eq!(rx.piggyback(), 4);
+        assert_eq!(rx.take_owed(), None);
+
+        // A gap frame still owes (batched, so it costs no extra frame).
+        assert_eq!(rx.accept(9), RxVerdict::Gap);
+        assert_eq!(rx.cum(), 4);
+        assert_eq!(rx.take_owed(), Some(4));
+    }
 
     #[test]
     fn tx_session_sequences_acks_and_backs_off() {
