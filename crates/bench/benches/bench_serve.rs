@@ -1,0 +1,149 @@
+//! `bench_serve` — the tracked serving-layer benchmark.
+//!
+//! Sweeps offered load (open-loop Poisson arrivals per node) across the
+//! main algorithm families on the simulator and records, per point:
+//!
+//! * **goodput** (fully served requests per second of measurement window)
+//!   against **offered load** — the saturation curve of each algorithm as
+//!   an allocation service;
+//! * **arrival-keyed tail latency** (p50/p95/p99/p999 of intended-arrival
+//!   → grant) — the coordinated-omission-free serving metric, next to the
+//!   issue-keyed p99 whose gap to it *is* the omission bias.
+//!
+//! Runs on the deterministic simulator, so the numbers track algorithmic
+//! cost (queueing + synchronization), not host scheduling noise.  Results
+//! land in `BENCH_serve.json` at the repo root (same pattern as
+//! `BENCH_net.json`).  `MRA_FAST=1` (CI) shrinks the measurement window.
+//!
+//! ```text
+//! cargo bench -p mra-bench --bench bench_serve
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mra_bench::{write_bench_serve_json, ServeBenchEntry};
+use mra_serve::ServeConfig;
+use mra_workloads::{run_serve, Algorithm, Scenario, ServeScenario};
+
+fn fast() -> bool {
+    std::env::var("MRA_FAST").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+const NODES: usize = 8;
+const RESOURCES: usize = 16;
+
+struct Point {
+    label: &'static str,
+    algo: Algorithm,
+    /// Offered arrival rate per node, requests/second.
+    rate_hz: f64,
+}
+
+fn scenario() -> Scenario {
+    let measure = if fast() { 0.5 } else { 2.0 };
+    Scenario::builder()
+        .nodes(NODES)
+        .resources(RESOURCES)
+        .max_request_size(3)
+        .seed(0x5E21)
+        .measure_secs(measure)
+        .build()
+}
+
+fn run_point(p: &Point) -> ServeBenchEntry {
+    let serve = ServeConfig {
+        rate_hz: p.rate_hz,
+        ..ServeConfig::default()
+    }
+    .from_env();
+    let ssc = ServeScenario::new(scenario(), serve);
+    let t0 = std::time::Instant::now();
+    let out = run_serve(p.algo, &ssc, None, None);
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    out.check()
+        .unwrap_or_else(|e| panic!("{}: conservation broken: {e}", p.label));
+
+    // `LogHist::quantile` takes a percentile (0–100) and returns the same
+    // unit it recorded — nanoseconds here.
+    let ms = |q: f64| out.serve.grant_latency.quantile(q) / 1e6;
+    ServeBenchEntry {
+        scenario: p.label.to_string(),
+        algo: out.result.algo.clone(),
+        nodes: NODES,
+        offered_hz: out.offered_hz(),
+        goodput_hz: out.goodput_hz(),
+        offered: out.serve.offered,
+        admitted: out.serve.admitted,
+        shed: out.serve.shed(),
+        batches: out.serve.batches,
+        batched_reqs: out.serve.batched_reqs,
+        p50_ms: ms(50.0),
+        p95_ms: ms(95.0),
+        p99_ms: ms(99.0),
+        p999_ms: ms(99.9),
+        wait_p99_ms: out.result.wait_stats().p99_ms,
+        wall_ns,
+    }
+}
+
+fn bench_serve(c: &mut Criterion) {
+    // Three load levels per algorithm: comfortably under, near, and past
+    // the fleet's service capacity for this topology.
+    #[rustfmt::skip]
+    let points = [
+        Point { label: "lass_loan_50hz",   algo: Algorithm::LassLoan,           rate_hz: 50.0 },
+        Point { label: "lass_loan_200hz",  algo: Algorithm::LassLoan,           rate_hz: 200.0 },
+        Point { label: "lass_loan_800hz",  algo: Algorithm::LassLoan,           rate_hz: 800.0 },
+        Point { label: "lass_noloan_200hz", algo: Algorithm::LassNoLoan,        rate_hz: 200.0 },
+        Point { label: "bl_200hz",         algo: Algorithm::BouabdallahLaforest, rate_hz: 200.0 },
+        Point { label: "incremental_200hz", algo: Algorithm::Incremental,       rate_hz: 200.0 },
+        Point { label: "central_200hz",    algo: Algorithm::Central,            rate_hz: 200.0 },
+        Point { label: "maddi_200hz",      algo: Algorithm::Maddi,              rate_hz: 200.0 },
+    ];
+    let entries: Vec<ServeBenchEntry> = points.iter().map(run_point).collect();
+
+    println!("serving layer (offered vs goodput, arrival-keyed latency):");
+    for e in &entries {
+        println!(
+            "  {:<20} offered {:>7.0}/s  goodput {:>7.0}/s  shed {:>5}  \
+             p50 {:>8.2} ms  p99 {:>9.2} ms  p999 {:>9.2} ms  (wait p99 {:>8.2} ms)",
+            e.scenario,
+            e.offered_hz,
+            e.goodput_hz,
+            e.shed,
+            e.p50_ms,
+            e.p99_ms,
+            e.p999_ms,
+            e.wait_p99_ms,
+        );
+    }
+
+    // Criterion's `--test` smoke mode must not clobber the tracked file.
+    if std::env::args().any(|a| a == "--test") {
+        println!("[json] --test smoke mode: BENCH_serve.json left untouched");
+    } else {
+        let mode = if fast() { "fast" } else { "full" };
+        match write_bench_serve_json(&entries, mode) {
+            Ok(path) => println!("[json] wrote {}", path.display()),
+            Err(e) => panic!("[json] FAILED to write BENCH_serve.json: {e}"),
+        }
+    }
+
+    // Criterion timing of one mid-load serving run for local comparisons.
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    group.bench_function("lass_loan_200hz", |b| {
+        b.iter(|| {
+            let serve = ServeConfig {
+                rate_hz: 200.0,
+                ..ServeConfig::default()
+            };
+            let ssc = ServeScenario::new(scenario(), serve);
+            let out = run_serve(Algorithm::LassLoan, &ssc, None, None);
+            std::hint::black_box(out.serve.served)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

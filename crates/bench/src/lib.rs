@@ -108,6 +108,98 @@ pub struct NetBenchEntry {
     pub cs_completed: u64,
 }
 
+/// One serving-layer measurement of the `bench_serve` target: one offered
+/// load level on one algorithm, with goodput and arrival-keyed tail
+/// latency.
+#[derive(Clone, Debug)]
+pub struct ServeBenchEntry {
+    /// Measurement label, e.g. `lass_loan_400hz`.
+    pub scenario: String,
+    /// Algorithm name as reported by the run.
+    pub algo: String,
+    /// Nodes issuing open-loop arrivals.
+    pub nodes: usize,
+    /// Fleet-wide offered load, requests/second.
+    pub offered_hz: f64,
+    /// Fleet-wide goodput (fully served requests / measurement window).
+    pub goodput_hz: f64,
+    /// Arrivals generated / admitted / shed (conservation check inputs).
+    pub offered: u64,
+    pub admitted: u64,
+    pub shed: u64,
+    /// Engine CS batches issued and requests folded into them — their
+    /// ratio is the batching factor.
+    pub batches: u64,
+    pub batched_reqs: u64,
+    /// Arrival→grant latency percentiles, milliseconds (the
+    /// coordinated-omission-free serving metric).
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub p999_ms: f64,
+    /// Issue-keyed p99 for the same run: the gap to `p99_ms` is the
+    /// coordinated-omission bias the serving metrics remove.
+    pub wait_p99_ms: f64,
+    /// Wall-clock nanoseconds of the run.
+    pub wall_ns: u64,
+}
+
+/// Serialize `entries` as `BENCH_serve.json` at the repo root (the
+/// tracked serving-layer perf-trajectory data point) and return the path
+/// written.  Same hand-rolled flat JSON as [`write_bench_engine_json`].
+pub fn write_bench_serve_json(
+    entries: &[ServeBenchEntry],
+    mode: &str,
+) -> std::io::Result<PathBuf> {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    fn num(v: f64, decimals: usize) -> String {
+        if v.is_finite() {
+            format!("{v:.decimals$}")
+        } else {
+            "0.0".into()
+        }
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"bench_serve\",\n");
+    out.push_str("  \"unit\": \"goodput_hz\",\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", esc(mode)));
+    out.push_str("  \"results\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"algo\": \"{}\", \"nodes\": {}, \
+             \"offered_hz\": {}, \"goodput_hz\": {}, \"offered\": {}, \
+             \"admitted\": {}, \"shed\": {}, \"batches\": {}, \
+             \"batched_reqs\": {}, \"p50_ms\": {}, \"p95_ms\": {}, \
+             \"p99_ms\": {}, \"p999_ms\": {}, \"wait_p99_ms\": {}, \
+             \"wall_ns\": {}}}{}\n",
+            esc(&e.scenario),
+            esc(&e.algo),
+            e.nodes,
+            num(e.offered_hz, 1),
+            num(e.goodput_hz, 1),
+            e.offered,
+            e.admitted,
+            e.shed,
+            e.batches,
+            e.batched_reqs,
+            num(e.p50_ms, 3),
+            num(e.p95_ms, 3),
+            num(e.p99_ms, 3),
+            num(e.p999_ms, 3),
+            num(e.wait_p99_ms, 3),
+            e.wall_ns,
+            if i + 1 < entries.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = repo_root().join("BENCH_serve.json");
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
 /// Serialize `entries` as `BENCH_net.json` at the repo root (the tracked
 /// transport perf-trajectory data point) and return the path written.
 /// Same hand-rolled flat JSON as [`write_bench_engine_json`].

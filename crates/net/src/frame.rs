@@ -174,7 +174,23 @@ pub struct FrameBuf {
 }
 
 /// Bytes asked of the kernel per [`FrameBuf::read_from`] call.
-const READ_CHUNK: usize = 16 * 1024;
+pub const READ_CHUNK: usize = 16 * 1024;
+
+/// Consumed-prefix size past which the incremental buffers slide their
+/// live bytes back to the front.  Compacting on *every* operation would
+/// pay a `copy_within` per read/write; waiting until the dead prefix
+/// reaches this threshold amortizes the copy to O(1) per consumed byte
+/// while still bounding the prefix.
+pub const COMPACT_THRESHOLD: usize = 4 * 1024;
+
+/// High-water storage a buffer keeps across bursts.  A transient backlog
+/// (a slow consumer, a retransmission storm) can legitimately grow the
+/// backing store far past steady state; once the backlog drains, storage
+/// beyond this bound is returned to the allocator instead of staying
+/// resident for the lifetime of the connection.  Sized so steady-state
+/// operation never touches it: the largest undecoded tail (one maximal
+/// frame) plus one read chunk plus the compaction threshold.
+pub const RETAIN_LIMIT: usize = COMPACT_THRESHOLD + HEADER + MAX_FRAME + READ_CHUNK;
 
 impl FrameBuf {
     pub fn new() -> Self {
@@ -227,16 +243,121 @@ impl FrameBuf {
         self.end - self.pos
     }
 
+    /// Bytes of backing storage currently held (the high-water mark, not
+    /// the live span).  Bounded by [`RETAIN_LIMIT`] whenever the decode
+    /// side keeps up — the regression guard `prop_frame.rs` asserts.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
     /// Slide unconsumed bytes to the front so the buffer doesn't grow
-    /// without bound on a long-lived connection.  Cheap: a `copy_within`
-    /// of at most one partial frame, and a no-op when fully drained.
+    /// without bound on a long-lived connection.  A fully drained buffer
+    /// resets for free; otherwise the `copy_within` (at most one partial
+    /// frame) runs only once the dead prefix passes [`COMPACT_THRESHOLD`],
+    /// amortizing it.  Draining also releases burst storage past
+    /// [`RETAIN_LIMIT`] — without this a single backlog spike would pin
+    /// its high-water allocation for the connection's lifetime.
     fn compact(&mut self) {
-        if self.pos == 0 {
-            return;
+        if self.pos == self.end {
+            self.pos = 0;
+            self.end = 0;
+            // Gate on capacity, not length: amortized `Vec` growth can
+            // leave the allocation ~2× the high-water length, and it is
+            // the allocation this bound is about.
+            if self.buf.capacity() > RETAIN_LIMIT {
+                self.buf.truncate(RETAIN_LIMIT);
+                self.buf.shrink_to(RETAIN_LIMIT);
+            }
+        } else if self.pos >= COMPACT_THRESHOLD {
+            self.buf.copy_within(self.pos..self.end, 0);
+            self.end -= self.pos;
+            self.pos = 0;
         }
-        self.buf.copy_within(self.pos..self.end, 0);
-        self.end -= self.pos;
+    }
+}
+
+/// Outbound byte queue with partial-write tracking, the write-side twin
+/// of [`FrameBuf`].
+///
+/// The reactor parks unflushed frames per connection: [`queue`] appends
+/// encoded bytes, [`unwritten`] exposes the tail still owed to the
+/// kernel, [`consume`] advances past what `write(2)` accepted.  A slow
+/// peer keeps the queue non-empty indefinitely, so the consumed prefix
+/// is reclaimed once it exceeds [`COMPACT_THRESHOLD`] — the naive
+/// cursor-into-a-`Vec` it replaces only reclaimed on full drain, which a
+/// peer that never quite catches up never triggers: every byte ever
+/// parked stayed resident (see the `writebuf_slow_peer_stays_bounded`
+/// regression).
+///
+/// [`queue`]: WriteBuf::queue
+/// [`unwritten`]: WriteBuf::unwritten
+/// [`consume`]: WriteBuf::consume
+#[derive(Debug, Default)]
+pub struct WriteBuf {
+    buf: Vec<u8>,
+    /// Bytes already accepted by the kernel; `buf[pos..]` is owed.
+    pos: usize,
+}
+
+impl WriteBuf {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append bytes to the tail of the queue.
+    pub fn queue(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// The bytes still owed to the kernel.
+    pub fn unwritten(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Count of bytes still owed.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when nothing is owed.
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Advance past `n` bytes the kernel accepted.  Compacts the consumed
+    /// prefix past [`COMPACT_THRESHOLD`] and releases burst storage past
+    /// [`RETAIN_LIMIT`] on full drain.
+    pub fn consume(&mut self, n: usize) {
+        self.pos += n;
+        debug_assert!(self.pos <= self.buf.len());
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+            if self.buf.capacity() > RETAIN_LIMIT {
+                self.buf.shrink_to(RETAIN_LIMIT);
+            }
+        } else if self.pos >= COMPACT_THRESHOLD {
+            let len = self.buf.len();
+            self.buf.copy_within(self.pos..len, 0);
+            self.buf.truncate(len - self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Drop everything, owed or not (link teardown).
+    pub fn clear(&mut self) {
+        self.buf.clear();
         self.pos = 0;
+        if self.buf.capacity() > RETAIN_LIMIT {
+            self.buf.shrink_to(RETAIN_LIMIT);
+        }
+    }
+
+    /// Bytes of backing storage currently held.  Bounded by the live
+    /// backlog plus [`COMPACT_THRESHOLD`] — *not* by the total bytes ever
+    /// queued, which is the property the compaction buys.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
     }
 }
 
@@ -398,6 +519,98 @@ mod tests {
                 .expect_err("poisoned length must fail immediately");
             assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{poison:#x}");
         }
+    }
+
+    #[test]
+    fn framebuf_releases_burst_storage_after_drain() {
+        // A consumer that stalls while 4 MiB of frames pile up must not
+        // pin that high-water allocation forever: once the backlog
+        // drains, the next read cycle returns the burst storage.  This
+        // fails without the RETAIN_LIMIT shrink in `compact` — the
+        // high-water `buf` was never reduced.
+        let mut frame = Vec::new();
+        write_frame(&mut frame, TAG_MSG, &vec![7u8; MAX_FRAME - 1]).unwrap();
+        let mut wire = Vec::new();
+        for _ in 0..64 {
+            wire.extend_from_slice(&frame);
+        }
+        let mut fb = FrameBuf::new();
+        let mut r = Cursor::new(&wire);
+        // Stalled consumer: read everything without decoding a frame.
+        while fb.read_from(&mut r).unwrap() > 0 {}
+        assert!(
+            fb.capacity() >= wire.len(),
+            "burst did not reach the buffer: {} < {}",
+            fb.capacity(),
+            wire.len()
+        );
+        // Consumer catches up, then the connection keeps running.
+        let mut scratch = Vec::new();
+        while fb.next_frame_into(&mut scratch).unwrap().is_some() {}
+        assert_eq!(fb.pending(), 0);
+        let mut tail = Cursor::new(&frame);
+        while fb.read_from(&mut tail).unwrap() > 0 {
+            while fb.next_frame_into(&mut scratch).unwrap().is_some() {}
+        }
+        assert!(
+            fb.capacity() <= RETAIN_LIMIT + READ_CHUNK,
+            "burst storage retained after drain: {} > {}",
+            fb.capacity(),
+            RETAIN_LIMIT + READ_CHUNK
+        );
+    }
+
+    #[test]
+    fn writebuf_slow_peer_stays_bounded() {
+        // A peer that accepts exactly what we produce but never fully
+        // drains the queue (one frame always parked).  The cursor-only
+        // scheme this replaces grew the buffer by 64 bytes per cycle —
+        // ~6 MiB over this loop, unbounded over a connection's lifetime.
+        let mut wb = WriteBuf::new();
+        let frame = [0xABu8; 64];
+        wb.queue(&frame); // one frame permanently in flight
+        for _ in 0..100_000 {
+            wb.queue(&frame);
+            wb.consume(frame.len()); // kernel accepts one frame per pass
+            assert_eq!(wb.pending(), frame.len());
+        }
+        assert!(!wb.is_empty(), "the peer was never supposed to catch up");
+        // The live backlog is one frame; the resident allocation may
+        // reach the compaction threshold plus `Vec`'s amortized-doubling
+        // slack, but no more — and crucially it stops growing there.
+        assert!(
+            wb.capacity() <= 2 * (COMPACT_THRESHOLD + 16 * frame.len()),
+            "consumed prefix never reclaimed: {} bytes resident",
+            wb.capacity()
+        );
+        // Full drain resets and releases.
+        let owed = wb.pending();
+        wb.consume(owed);
+        assert!(wb.is_empty());
+        assert_eq!(wb.pending(), 0);
+    }
+
+    #[test]
+    fn writebuf_consume_queue_interleave_preserves_bytes() {
+        // The compaction must be invisible to the byte stream: whatever
+        // interleaving of queue/consume happens, the bytes coming out of
+        // `unwritten` are exactly the bytes queued, in order.
+        let mut wb = WriteBuf::new();
+        let mut expect = std::collections::VecDeque::new();
+        let mut x = 1u64;
+        for step in 0..10_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let chunk: Vec<u8> = (0..(x % 97) as u8).map(|i| i ^ step as u8).collect();
+            wb.queue(&chunk);
+            expect.extend(chunk.iter().copied());
+            let take = ((x >> 32) as usize % 128).min(wb.pending());
+            let got: Vec<u8> = wb.unwritten()[..take].to_vec();
+            for b in got {
+                assert_eq!(Some(b), expect.pop_front(), "byte stream corrupted");
+            }
+            wb.consume(take);
+        }
+        assert_eq!(wb.pending(), expect.len());
     }
 
     #[test]

@@ -45,8 +45,8 @@ pub use imp::{connect_reactor_mesh, ReactorPort};
 #[cfg(unix)]
 mod imp {
     use crate::frame::{
-        begin_frame, end_frame, split_rack, split_rdata, FrameBuf, TAG_DONE, TAG_MSG, TAG_RACK,
-        TAG_RDATA, TAG_SHUTDOWN,
+        begin_frame, end_frame, split_rack, split_rdata, FrameBuf, WriteBuf, TAG_DONE, TAG_MSG,
+        TAG_RACK, TAG_RDATA, TAG_SHUTDOWN,
     };
     use crate::sys;
     use crate::transport::{DoneAct, MeshConfig, PeerDirectory, PortCtrl};
@@ -67,6 +67,10 @@ mod imp {
     /// Wait this long between connect retries (a peer process may not
     /// have bound its listener yet — solo deployments).
     const RETRY_DELAY: Duration = Duration::from_millis(20);
+    /// Reads serviced per connection per reactor iteration (~256 KiB).
+    /// See [`Reactor::service_read`] — the bound keeps one flooding peer
+    /// from starving everyone else's acks and timers.
+    const MAX_READS_PER_PASS: usize = 16;
     /// On stop, keep flushing parked write buffers at most this long.
     const DRAIN_LIMIT: Duration = Duration::from_secs(5);
 
@@ -102,12 +106,13 @@ mod imp {
         stream: Option<TcpStream>,
         /// Transport-level setup (connect, or accept + handshake) done?
         connected: bool,
-        /// Pending outbound bytes; `wbuf[wpos..]` is still unwritten.
-        /// Frames queued before the connection exists park here too — on
-        /// the connector side the first four bytes are the handshake
-        /// itself, so it always leads whatever was queued early.
-        wbuf: Vec<u8>,
-        wpos: usize,
+        /// Pending outbound bytes (consumed-prefix-compacting, so a slow
+        /// peer bounds memory at the live backlog instead of growing it
+        /// monotonically).  Frames queued before the connection exists
+        /// park here too — on the connector side the first four bytes are
+        /// the handshake itself, so it always leads whatever was queued
+        /// early.
+        wbuf: WriteBuf,
         /// Incremental inbound decoder.
         rbuf: FrameBuf,
         /// Is write-readiness part of the registered interest right now?
@@ -121,7 +126,7 @@ mod imp {
 
     impl PeerConn {
         fn parked(&self) -> usize {
-            self.wbuf.len() - self.wpos
+            self.wbuf.pending()
         }
     }
 
@@ -344,7 +349,7 @@ mod imp {
                 }
             };
             end_frame(&mut self.buf, tag);
-            self.conns[to].wbuf.extend_from_slice(&self.buf);
+            self.conns[to].wbuf.queue(&self.buf);
             self.counters.frames_out += 1;
             self.counters.by_kind.bump(label, 1);
         }
@@ -356,7 +361,7 @@ mod imp {
             }
             begin_frame(&mut self.buf);
             end_frame(&mut self.buf, tag);
-            self.conns[to].wbuf.extend_from_slice(&self.buf);
+            self.conns[to].wbuf.queue(&self.buf);
             self.counters.frames_out += 1;
             self.counters.by_kind.bump(label, 1);
         }
@@ -380,6 +385,17 @@ mod imp {
                 if !dl.is_some_and(|d| d <= wall) {
                     continue;
                 }
+                if !conns[peer].connected {
+                    // The link is still forming (connect retry, handshake
+                    // in flight): every frame is parked locally, nothing
+                    // can have been lost yet.  Firing the RTO here would
+                    // queue a duplicate copy of the whole unacked window
+                    // per expiry — pure wbuf growth and bogus retransmit
+                    // counts on a perfect link.  Defer without touching
+                    // the session's backoff state.
+                    *dl = Some(wall + tx[peer].rto_delay(cfg).to_std());
+                    continue;
+                }
                 match tx[peer].on_rto(now, cfg) {
                     RtoVerdict::Idle => *dl = None,
                     RtoVerdict::Rearm(at) => *dl = Some(*epoch + at.to_std()),
@@ -397,7 +413,7 @@ mod imp {
                                 buf.extend_from_slice(&ack.to_le_bytes());
                                 msg.encode(buf);
                                 end_frame(buf, TAG_RDATA);
-                                conns[peer].wbuf.extend_from_slice(buf);
+                                conns[peer].wbuf.queue(buf);
                                 counters.retransmit_frames += 1;
                                 counters.by_kind.bump("RData", 1);
                             }
@@ -427,7 +443,7 @@ mod imp {
                     begin_frame(buf);
                     buf.extend_from_slice(&ack.to_le_bytes());
                     end_frame(buf, TAG_RACK);
-                    c.wbuf.extend_from_slice(buf);
+                    c.wbuf.queue(buf);
                     counters.ack_frames += 1;
                     counters.by_kind.bump("RAck", 1);
                 }
@@ -445,7 +461,7 @@ mod imp {
                 // it hits the wire before any frame queued while the
                 // connection was still forming.
                 let hs = (self.me as u32).to_le_bytes();
-                self.conns[peer].wbuf.extend_from_slice(&hs);
+                self.conns[peer].wbuf.queue(&hs);
             }
             match sys::connect_nonblocking(self.addrs[peer]) {
                 Ok(stream) => {
@@ -481,6 +497,7 @@ mod imp {
                     }
                     c.connected = true;
                     c.want_write = want;
+                    self.session_link_up(peer);
                 }
                 Ok(Some(e)) | Err(e) => {
                     if let Some(s) = self.conns[peer].stream.take() {
@@ -514,7 +531,6 @@ mod imp {
             c.dead = true;
             c.connected = false;
             c.wbuf.clear();
-            c.wpos = 0;
             c.retry_at = None;
             if self.draining.is_none() {
                 let _ = self.up.send(Up::Shutdown);
@@ -615,13 +631,43 @@ mod imp {
             c.stream = Some(p.stream);
             c.connected = true;
             c.want_write = want;
+            self.session_link_up(id);
         }
 
-        /// Drain a readable connection: repeated reads into the
-        /// incremental decoder until the kernel has nothing left, handling
-        /// every complete frame as it appears.
+        /// The transport to `peer` just became usable: restart the RTO
+        /// clocks of any frames that were queued (and session-stamped)
+        /// while the link was still forming — their first copies only
+        /// now get a wire to ride.
+        fn session_link_up(&mut self, peer: NodeId) {
+            if let Some(s) = self.sess.as_mut() {
+                if s.tx[peer].has_unacked() {
+                    let now = s.now();
+                    s.tx[peer].link_up(now);
+                    s.deadline[peer] =
+                        Some(Instant::now() + s.tx[peer].rto_delay(&s.cfg).to_std());
+                }
+            }
+        }
+
+        /// Service a readable connection: reads into the incremental
+        /// decoder, handling every complete frame as it appears.
+        ///
+        /// Bounded to [`MAX_READS_PER_PASS`] reads per call: a peer that
+        /// floods faster than we decode would otherwise keep this loop
+        /// spinning for as long as the kernel has bytes, deferring the
+        /// owed-ack drain, RTO timers and flushes for *every other peer*
+        /// past their RTOs — the reverse path then sees spurious go-back-N
+        /// retransmits with zero actual loss.  The poller is
+        /// level-triggered and persistent, so leftover bytes re-report
+        /// readability on the next `wait` immediately; bounding the pass
+        /// costs nothing but interleaves the fairness-critical work.
         fn service_read(&mut self, peer: NodeId) {
+            let mut reads = 0usize;
             loop {
+                if reads >= MAX_READS_PER_PASS {
+                    return;
+                }
+                reads += 1;
                 let res = {
                     let c = &mut self.conns[peer];
                     let Some(s) = c.stream.as_mut() else {
@@ -795,8 +841,8 @@ mod imp {
                 return;
             };
             let mut broken = false;
-            while c.wpos < c.wbuf.len() {
-                match s.write(&c.wbuf[c.wpos..]) {
+            while !c.wbuf.is_empty() {
+                match s.write(c.wbuf.unwritten()) {
                     Ok(0) => {
                         broken = true;
                         break;
@@ -804,7 +850,11 @@ mod imp {
                     Ok(k) => {
                         self.counters.write_calls += 1;
                         self.counters.bytes_out += k as u64;
-                        c.wpos += k;
+                        // Partial writes advance a cursor; the consumed
+                        // prefix compacts once it passes the threshold, so
+                        // a slow peer costs the live backlog, not every
+                        // byte ever parked.
+                        c.wbuf.consume(k);
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -819,14 +869,9 @@ mod imp {
                 // ignored write errors; the read side sees the EOF and
                 // ends the run if it matters.
                 c.wbuf.clear();
-                c.wpos = 0;
                 return;
             }
-            if c.wpos >= c.wbuf.len() {
-                c.wbuf.clear();
-                c.wpos = 0;
-            }
-            let want = c.wpos < c.wbuf.len();
+            let want = !c.wbuf.is_empty();
             if want != c.want_write {
                 let ev = Event { key: peer, readable: true, writable: want };
                 let s = c.stream.as_ref().expect("stream checked above");
@@ -999,8 +1044,7 @@ mod imp {
             .map(|peer| PeerConn {
                 stream: None,
                 connected: false,
-                wbuf: Vec::new(),
-                wpos: 0,
+                wbuf: WriteBuf::new(),
                 rbuf: FrameBuf::new(),
                 want_write: false,
                 retry_at: None,
@@ -1331,6 +1375,150 @@ mod tests {
             }
         }
         p1.send(0, 1, 0);
+        while !t.is_finished() {
+            match p1.recv_deadline(Instant::now() + Duration::from_millis(50)) {
+                PortEvent::Shutdown => break,
+                _ => continue,
+            }
+        }
+        t.join().unwrap();
+    }
+
+    /// Re-bind a just-released address (the test advertises it before the
+    /// listener exists to force connect retries on the other side).
+    fn bind_retry(addr: std::net::SocketAddr) -> TcpListener {
+        for _ in 0..50 {
+            match TcpListener::bind(addr) {
+                Ok(l) => return l,
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        panic!("could not re-bind {addr}");
+    }
+
+    #[test]
+    fn reactor_rto_holds_while_link_forms() {
+        // Regression: a frame queued while the peer's listener is not
+        // even up must NOT trip the RTO.  fire_timers used to run
+        // `on_rto` for unconnected peers, queueing a duplicate of the
+        // whole unacked window per expiry — nonzero retransmit counters
+        // on a link that never lost a byte (and, symmetrically, frames
+        // session-stamped while parked used to fire the instant the
+        // link came up).  RTO 250 ms << the 2 s the link spends forming,
+        // but >> the loopback ack round-trip once it exists.
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a1 = TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap();
+        // The listener for node 1 is now dropped: node 0's connects get
+        // refused and retried while its frame sits parked.
+        let dir = PeerDirectory::new(vec![l0.local_addr().unwrap(), a1]);
+        let shim = MeshConfig {
+            reliability: Some(Reliability::with_rto(Time::from_millis(250))),
+            ..MeshConfig::default()
+        };
+        let d0 = dir.clone();
+        let cfg0 = shim.clone();
+        let remaining = Arc::new(AtomicUsize::new(2));
+        let r0 = Arc::clone(&remaining);
+        let t = std::thread::spawn(move || {
+            let mut p0: ReactorPort<u64> =
+                connect_reactor_mesh(0, l0, &d0, PortCtrl::Cluster(r0), cfg0).unwrap();
+            p0.send(1, 42, 0);
+            match p0.recv_deadline(Instant::now() + Duration::from_secs(20)) {
+                PortEvent::Msg { from, msg, .. } => assert_eq!((from, msg), (1, 7)),
+                other => panic!("expected confirmation, got {}", kind(&other)),
+            }
+            let c0 = p0.counters();
+            assert_eq!(
+                (c0.rto_fires, c0.retransmit_frames),
+                (0, 0),
+                "perfect link, peer merely slow to start: nothing may retransmit"
+            );
+        });
+        // Long enough for several RTO expiries (250, +500, +1000 ms)
+        // while the connection cannot form.
+        std::thread::sleep(Duration::from_secs(2));
+        let l1 = bind_retry(a1);
+        let mut p1: ReactorPort<u64> = connect_reactor_mesh(
+            1,
+            l1,
+            &dir,
+            PortCtrl::Cluster(Arc::clone(&remaining)),
+            shim,
+        )
+        .unwrap();
+        match p1.recv_deadline(Instant::now() + Duration::from_secs(20)) {
+            PortEvent::Msg { from, msg, .. } => assert_eq!((from, msg), (0, 42)),
+            other => panic!("expected the parked frame, got {}", kind(&other)),
+        }
+        p1.send(0, 7, 0);
+        while !t.is_finished() {
+            match p1.recv_deadline(Instant::now() + Duration::from_millis(50)) {
+                PortEvent::Shutdown => break,
+                _ => continue,
+            }
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn reactor_asymmetric_flood_perfect_link_no_retransmits() {
+        // Sustained one-way traffic with reliability on: every ack back
+        // is a standalone TAG_RACK (no reverse data to piggyback on).
+        // On a perfect link nothing may retransmit — the bounded
+        // per-pass read drain guarantees the receiver's owed-ack queue
+        // runs every reactor iteration even while inbound is saturated.
+        const FRAMES: u64 = 20_000;
+        const BURST: u64 = 500;
+        let shim = MeshConfig {
+            reliability: Some(Reliability::with_rto(Time::from_millis(200))),
+            ..MeshConfig::default()
+        };
+        let (l0, l1, dir) = pair_dir();
+        let d0 = dir.clone();
+        let cfg0 = shim.clone();
+        let remaining = Arc::new(AtomicUsize::new(2));
+        let r0 = Arc::clone(&remaining);
+        let t = std::thread::spawn(move || {
+            let mut p0: ReactorPort<u64> =
+                connect_reactor_mesh(0, l0, &d0, PortCtrl::Cluster(r0), cfg0).unwrap();
+            for k in 0..FRAMES {
+                p0.send(1, k, 0);
+                if (k + 1) % BURST == 0 {
+                    // Open-loop pacing: keep the in-flight window modest
+                    // so a retransmit could only come from deferred acks,
+                    // never from frames aging in our own parked backlog.
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            match p0.recv_deadline(Instant::now() + Duration::from_secs(20)) {
+                PortEvent::Msg { from, msg, .. } => assert_eq!((from, msg), (1, u64::MAX)),
+                other => panic!("expected confirmation, got {}", kind(&other)),
+            }
+            let c0 = p0.counters();
+            assert_eq!(
+                c0.retransmit_frames, 0,
+                "perfect link but {} RTO fires — acks deferred past the timer",
+                c0.rto_fires
+            );
+        });
+        let mut p1: ReactorPort<u64> = connect_reactor_mesh(
+            1,
+            l1,
+            &dir,
+            PortCtrl::Cluster(Arc::clone(&remaining)),
+            shim,
+        )
+        .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        for want in 0..FRAMES {
+            match p1.recv_deadline(deadline) {
+                PortEvent::Msg { from, msg, .. } => assert_eq!((from, msg), (0, want)),
+                other => panic!("expected frame {want}, got {}", kind(&other)),
+            }
+        }
+        let c1 = p1.counters();
+        assert!(c1.ack_frames > 0, "one-way traffic must owe standalone acks");
+        p1.send(0, u64::MAX, 0);
         while !t.is_finished() {
             match p1.recv_deadline(Instant::now() + Duration::from_millis(50)) {
                 PortEvent::Shutdown => break,

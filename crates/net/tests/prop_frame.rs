@@ -7,7 +7,9 @@
 //! contract the reactor depends on: every frame comes out exactly once,
 //! in order, byte-identical, no matter where the reads land.
 
-use mra_net::frame::{write_frame, FrameBuf, MAX_FRAME, TAG_MSG};
+use mra_net::frame::{
+    write_frame, FrameBuf, WriteBuf, MAX_FRAME, READ_CHUNK, RETAIN_LIMIT, TAG_MSG,
+};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::io::{self, Read};
@@ -134,6 +136,94 @@ proptest! {
                 break;
             }
         }
+    }
+
+    /// Storage stays bounded on a long-lived connection: whatever backlog
+    /// a slow consumer builds up (reads outpacing decodes by an arbitrary
+    /// factor, cut at arbitrary points), once the decoder catches up the
+    /// backing store returns to the [`RETAIN_LIMIT`] envelope instead of
+    /// pinning its high-water allocation forever.
+    #[test]
+    fn burst_storage_returns_to_bound_after_drain(
+        frames in vec((any::<u8>(), 1usize..MAX_FRAME), 4..10),
+        splits in vec(1usize..20_000, 1..16),
+        drain_every in 2usize..9,
+    ) {
+        // Payload bytes are derived, not generated: multi-hundred-KiB
+        // random vectors would dominate the test's runtime without
+        // adding split coverage.
+        let frames: Vec<(u8, Vec<u8>)> = frames
+            .into_iter()
+            .map(|(tag, len)| (tag, vec![(len % 251) as u8; len]))
+            .collect();
+        let mut wire = Vec::new();
+        for (tag, payload) in &frames {
+            write_frame(&mut wire, *tag, payload).unwrap();
+        }
+        let mut r = Dribble { wire: &wire, pos: 0, splits: &splits, turn: 0 };
+        let mut fb = FrameBuf::new();
+        let mut scratch = Vec::new();
+        let mut got = Vec::new();
+        let mut reads = 0usize;
+        loop {
+            let n = fb.read_from(&mut r).unwrap();
+            reads += 1;
+            // The slow consumer: only every `drain_every`-th read gets a
+            // decode pass, so undecoded backlog genuinely accumulates.
+            if reads % drain_every == 0 {
+                drain(&mut fb, &mut scratch, &mut got);
+            }
+            if n == 0 {
+                break;
+            }
+        }
+        drain(&mut fb, &mut scratch, &mut got);
+        prop_assert_eq!(&got, &frames);
+        prop_assert_eq!(fb.pending(), 0);
+        // The next read cycle after the catch-up releases burst storage.
+        fb.read_from(&mut io::empty()).unwrap();
+        prop_assert!(
+            fb.capacity() <= RETAIN_LIMIT + READ_CHUNK,
+            "high-water allocation pinned: {} bytes held, bound {}",
+            fb.capacity(),
+            RETAIN_LIMIT + READ_CHUNK
+        );
+    }
+
+    /// The write-side twin: arbitrary queue/consume interleaves (a kernel
+    /// accepting arbitrary partial writes) never lose or reorder bytes,
+    /// and a fully drained queue returns burst storage to the
+    /// [`RETAIN_LIMIT`] envelope.
+    #[test]
+    fn writebuf_survives_arbitrary_partial_writes(
+        chunks in vec(1usize..5_000, 1..40),
+        accepts in vec(1usize..3_000, 1..32),
+    ) {
+        let mut wb = WriteBuf::new();
+        let mut expect: Vec<u8> = Vec::new();
+        let mut fed = 0usize;
+        for (turn, len) in chunks.iter().enumerate() {
+            let bytes: Vec<u8> = (0..*len).map(|i| ((fed + i) % 251) as u8).collect();
+            expect.extend_from_slice(&bytes);
+            fed += len;
+            wb.queue(&bytes);
+            // The adversarial kernel accepts some prefix of what's owed.
+            let k = accepts[turn % accepts.len()].min(wb.pending());
+            prop_assert_eq!(wb.unwritten(), &expect[expect.len() - wb.pending()..]);
+            wb.consume(k);
+            prop_assert_eq!(wb.unwritten(), &expect[expect.len() - wb.pending()..]);
+        }
+        // Drain to empty: the backlog spike must not stay resident.
+        let owed = wb.pending();
+        prop_assert_eq!(wb.unwritten(), &expect[expect.len() - owed..]);
+        wb.consume(owed);
+        prop_assert!(wb.is_empty());
+        prop_assert!(
+            wb.capacity() <= RETAIN_LIMIT,
+            "drained write queue holds {} bytes, bound {}",
+            wb.capacity(),
+            RETAIN_LIMIT
+        );
     }
 
     /// A frame decoded through the incremental path is byte-identical to

@@ -129,6 +129,12 @@ pub struct ObsReport {
     pub armed: bool,
     /// Request-issue → grant waiting time, nanoseconds.
     pub wait: LogHist,
+    /// Intended-arrival → grant serving latency, nanoseconds: the
+    /// open-loop client's end-to-end view, queueing delay before issue
+    /// included.  Mirrors `wait` exactly for closed-loop workloads
+    /// (arrival = issue); the gap between the two under an open-loop
+    /// generator is the coordinated-omission bias.
+    pub serve: LogHist,
     /// Send → delivery latency of protocol messages, nanoseconds.
     pub msg_latency: LogHist,
     /// Event-queue depth sampled at each dispatch (per-shard in sharded
@@ -159,6 +165,7 @@ pub struct EngineTracer {
     cur_ord: u64,
     next_seq: u32,
     wait: LogHist,
+    serve: LogHist,
     msg_latency: LogHist,
     queue_depth: LogHist,
 }
@@ -184,6 +191,7 @@ impl EngineTracer {
             cur_ord: 0,
             next_seq: 0,
             wait: LogHist::new(),
+            serve: LogHist::new(),
             msg_latency: LogHist::new(),
             queue_depth: LogHist::new(),
         }
@@ -387,6 +395,16 @@ impl EngineTracer {
         self.wait.record(wait.as_nanos());
     }
 
+    /// Record one intended-arrival→grant serving latency into the live
+    /// histogram (see [`ObsReport::serve`]).
+    #[inline]
+    pub fn record_serve(&mut self, latency: Time) {
+        if !self.armed {
+            return;
+        }
+        self.serve.record(latency.as_nanos());
+    }
+
     /// Drain this tracer's buffer in canonical emission order (ring mode
     /// rotates so the oldest surviving event comes first).  Leaves the
     /// tracer disarmed and empty.
@@ -408,6 +426,7 @@ impl EngineTracer {
         let armed = self.armed;
         let dropped = self.dropped;
         let wait = std::mem::take(&mut self.wait);
+        let serve = std::mem::take(&mut self.serve);
         let msg_latency = std::mem::take(&mut self.msg_latency);
         let queue_depth = std::mem::take(&mut self.queue_depth);
         let trace = if armed {
@@ -417,7 +436,7 @@ impl EngineTracer {
         } else {
             None
         };
-        ObsReport { armed, wait, msg_latency, queue_depth, trace, net: Default::default() }
+        ObsReport { armed, wait, serve, msg_latency, queue_depth, trace, net: Default::default() }
     }
 
     /// Merge this tracer's histograms into `report` and append its raw
@@ -429,6 +448,7 @@ impl EngineTracer {
         }
         report.armed = true;
         report.wait.merge(&self.wait);
+        report.serve.merge(&self.serve);
         report.msg_latency.merge(&self.msg_latency);
         report.queue_depth.merge(&self.queue_depth);
         let dropped = self.dropped;
@@ -452,10 +472,12 @@ mod tests {
         t.on_fault(1, 0, "Req", 0);
         t.on_cs(EventKind::CsEnter, 0, 2);
         t.record_wait(Time::from_millis(5));
+        t.record_serve(Time::from_millis(9));
         let rep = t.finish();
         assert!(!rep.armed);
         assert!(rep.trace.is_none());
         assert!(rep.wait.is_empty());
+        assert!(rep.serve.is_empty());
     }
 
     #[test]

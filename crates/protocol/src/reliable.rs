@@ -282,6 +282,19 @@ impl<M: Clone> TxSession<M> {
         RtoVerdict::Retransmit(self.unacked.len())
     }
 
+    /// The underlying link just came up.  Frames sent while the
+    /// connection was still forming were parked locally, never on the
+    /// wire, so their RTO clocks must restart from `now` (and the
+    /// backoff with them) — otherwise the timer fires the instant a
+    /// slow-forming link connects and "retransmits" frames whose first
+    /// copy is still in the write queue.
+    pub fn link_up(&mut self, now: Time) {
+        self.backoff = 0;
+        for h in self.unacked.iter_mut() {
+            h.sent_at = now;
+        }
+    }
+
     /// Current retransmission delay under `cfg`.
     pub fn rto_delay(&self, cfg: &Reliability) -> Time {
         cfg.delay(self.backoff)

@@ -1,0 +1,256 @@
+//! Seeded open-loop arrival processes.
+//!
+//! An [`ArrivalGen`] is an infinite, deterministic stream of
+//! `(arrival_time, ServeReq)` pairs.  "Open loop" means the stream is a
+//! function of the seed and the clock only: arrivals keep coming whether or
+//! not the server keeps up, which is exactly what exposes coordinated
+//! omission in latency measurement (a closed-loop driver would politely
+//! stop arriving while the server is stuck).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mra_types::{ResourceSet, Time};
+
+use crate::admission::ServeReq;
+
+/// Interarrival-time process.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Interarrival {
+    /// Memoryless arrivals: exponential gaps with mean `1/rate_hz`.
+    Poisson { rate_hz: f64 },
+    /// Heavy-tailed, bursty arrivals: bounded-Pareto gaps with shape
+    /// `alpha` (1 < α ≤ 2 is interesting) scaled so the *mean* gap is
+    /// still `1/rate_hz`.  Same offered load as Poisson, much lumpier:
+    /// most gaps are short (bursts), a few are very long (lulls).
+    ParetoBurst { rate_hz: f64, alpha: f64 },
+}
+
+/// Bounded-Pareto tail cap, as a multiple of the mean gap.  Keeps a single
+/// unlucky draw from stalling the stream for an entire simulation run.
+const PARETO_CAP: f64 = 100.0;
+
+impl Interarrival {
+    /// Offered arrival rate in requests per second.
+    pub fn rate_hz(&self) -> f64 {
+        match *self {
+            Interarrival::Poisson { rate_hz } => rate_hz,
+            Interarrival::ParetoBurst { rate_hz, .. } => rate_hz,
+        }
+    }
+
+    fn draw(&self, rng: &mut StdRng) -> Time {
+        let u: f64 = rng.gen_range(0.0..1.0f64);
+        match *self {
+            Interarrival::Poisson { rate_hz } => {
+                let mean = 1.0 / rate_hz.max(1e-9);
+                Time::from_secs_f64(-mean * (1.0 - u).max(1e-12).ln())
+            }
+            Interarrival::ParetoBurst { rate_hz, alpha } => {
+                let mean = 1.0 / rate_hz.max(1e-9);
+                let a = alpha.max(1.01);
+                // Pareto(xm, a) has mean xm·a/(a−1); pick xm so the mean
+                // gap matches the requested rate, then cap the tail.
+                let xm = mean * (a - 1.0) / a;
+                let gap = xm / (1.0 - u).max(1e-12).powf(1.0 / a);
+                Time::from_secs_f64(gap.min(mean * PARETO_CAP))
+            }
+        }
+    }
+}
+
+/// Shape of the requests an [`ArrivalGen`] fabricates: resource universe,
+/// request-size range and critical-section length range (linear in size,
+/// matching the paper's workload).
+#[derive(Clone, Debug)]
+pub struct RequestShape {
+    /// Resource universe size `M`.
+    pub m: usize,
+    /// Largest request size (the paper's φ); sizes are uniform `1..=phi`.
+    pub phi: usize,
+    /// CS duration for a size-1 request.
+    pub cs_min: Time,
+    /// CS duration for a size-φ request.
+    pub cs_max: Time,
+    /// Number of service classes; each request draws one uniformly.
+    pub classes: usize,
+}
+
+impl RequestShape {
+    fn draw(&self, rng: &mut StdRng) -> (usize, ResourceSet, Time) {
+        let phi = self.phi.clamp(1, self.m.max(1));
+        let size = rng.gen_range(1..=phi);
+        let mut set = ResourceSet::default();
+        while set.len() < size {
+            set.insert(rng.gen_range(0..self.m.max(1)));
+        }
+        let frac = if phi > 1 {
+            (size - 1) as f64 / (phi - 1) as f64
+        } else {
+            0.0
+        };
+        let span = self.cs_max.saturating_sub(self.cs_min);
+        let cs = self.cs_min + span.mul_f64(frac);
+        let class = rng.gen_range(0..self.classes.max(1));
+        (class, set, cs)
+    }
+}
+
+/// Deterministic per-node arrival stream.
+///
+/// The generator is *pull-based*: [`peek`](ArrivalGen::peek) exposes the
+/// next arrival instant without consuming it, and
+/// [`take`](ArrivalGen::take) consumes it and pre-draws the one after, so
+/// callers can pump every arrival up to "now" and know exactly when to
+/// wake next.
+#[derive(Debug)]
+pub struct ArrivalGen {
+    rng: StdRng,
+    iat: Interarrival,
+    shape: RequestShape,
+    next_at: Time,
+    next_id: u64,
+}
+
+impl ArrivalGen {
+    pub fn new(iat: Interarrival, shape: RequestShape, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // The stream starts one gap after t=0, not at t=0, so different
+        // nodes (different seeds) don't all arrive in lockstep at origin.
+        let first = iat.draw(&mut rng);
+        ArrivalGen {
+            rng,
+            iat,
+            shape,
+            next_at: first,
+            next_id: 0,
+        }
+    }
+
+    /// Instant of the next (not yet consumed) arrival.
+    pub fn peek(&self) -> Time {
+        self.next_at
+    }
+
+    /// Consume the next arrival, returning the fabricated request stamped
+    /// with its intended arrival time.
+    pub fn take(&mut self) -> ServeReq {
+        let arrival = self.next_at;
+        let (class, set, cs) = self.shape.draw(&mut self.rng);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.next_at = arrival + self.iat.draw(&mut self.rng);
+        ServeReq {
+            id,
+            class,
+            set,
+            cs,
+            arrival,
+        }
+    }
+
+    /// Total arrivals consumed so far.
+    pub fn generated(&self) -> u64 {
+        self.next_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> RequestShape {
+        RequestShape {
+            m: 16,
+            phi: 4,
+            cs_min: Time::from_millis(1),
+            cs_max: Time::from_millis(4),
+            classes: 2,
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mk = || ArrivalGen::new(Interarrival::Poisson { rate_hz: 500.0 }, shape(), 42);
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..64 {
+            assert_eq!(a.take(), b.take());
+        }
+        let mut c = ArrivalGen::new(Interarrival::Poisson { rate_hz: 500.0 }, shape(), 43);
+        let same = (0..64).filter(|_| a2(&mut c) == a2(&mut b)).count();
+        assert!(same < 64, "different seeds must differ");
+        fn a2(g: &mut ArrivalGen) -> Time {
+            g.take().arrival
+        }
+    }
+
+    #[test]
+    fn poisson_mean_gap_tracks_rate() {
+        let mut g = ArrivalGen::new(Interarrival::Poisson { rate_hz: 1000.0 }, shape(), 7);
+        let n = 4000;
+        let mut last = Time::ZERO;
+        for _ in 0..n {
+            last = g.take().arrival;
+        }
+        let mean_gap = last.as_secs_f64() / n as f64;
+        assert!(
+            (mean_gap - 0.001).abs() < 0.0002,
+            "mean gap {mean_gap} for 1 kHz"
+        );
+    }
+
+    #[test]
+    fn pareto_matches_rate_but_is_burstier() {
+        let n = 6000;
+        let run = |iat: Interarrival| {
+            let mut g = ArrivalGen::new(iat, shape(), 11);
+            let mut gaps = Vec::with_capacity(n);
+            let mut prev = Time::ZERO;
+            for _ in 0..n {
+                let a = g.take().arrival;
+                gaps.push(a.saturating_sub(prev).as_secs_f64());
+                prev = a;
+            }
+            gaps
+        };
+        let p = run(Interarrival::Poisson { rate_hz: 200.0 });
+        let b = run(Interarrival::ParetoBurst {
+            rate_hz: 200.0,
+            alpha: 1.5,
+        });
+        let mean = |g: &[f64]| g.iter().sum::<f64>() / g.len() as f64;
+        let mp = mean(&p);
+        let mb = mean(&b);
+        assert!((mp - 0.005).abs() < 0.001, "poisson mean {mp}");
+        assert!((mb - 0.005).abs() < 0.002, "pareto mean {mb}");
+        let max = |g: &[f64]| g.iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            max(&b) > max(&p),
+            "heavy tail should produce a longer max lull"
+        );
+        // Burstiness: squared coefficient of variation.  Exponential gaps
+        // have CV² = 1; capped Pareto at α = 1.5 is far more variable.
+        let cv2 = |g: &[f64]| {
+            let m = mean(g);
+            g.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (g.len() as f64 * m * m)
+        };
+        assert!(
+            cv2(&b) > 2.0 * cv2(&p),
+            "pareto cv² {} vs poisson {}",
+            cv2(&b),
+            cv2(&p)
+        );
+    }
+
+    #[test]
+    fn requests_are_well_formed() {
+        let mut g = ArrivalGen::new(Interarrival::Poisson { rate_hz: 100.0 }, shape(), 3);
+        for _ in 0..256 {
+            let r = g.take();
+            assert!(!r.set.is_empty() && r.set.len() <= 4);
+            assert!(r.set.iter().all(|x| x < 16));
+            assert!(r.class < 2);
+            assert!(r.cs >= Time::from_millis(1) && r.cs <= Time::from_millis(4));
+        }
+    }
+}

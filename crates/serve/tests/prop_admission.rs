@@ -1,0 +1,127 @@
+//! Property coverage for the admission queue — the serving layer's
+//! conservation core.
+//!
+//! The queue sits between an open-loop arrival stream and the allocation
+//! engine, so its invariants are exactly the serving layer's correctness
+//! story: every offered request is admitted or shed (never lost), admitted
+//! requests come back out exactly once (never duplicated), shed requests
+//! never come back out (never granted after shed), batches are pairwise
+//! disjoint, and the depth/quota bounds actually bind.  These properties
+//! drive random offer/pop interleavings against a flat reference model.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use mra_serve::{Admission, AdmissionQueue, ServeReq};
+use mra_types::{ResourceSet, Time};
+
+/// One scripted step against the queue.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Offer a request with this class and resource-bit pattern.
+    Offer { class: usize, bits: u32 },
+    /// Pop a batch with these limits.
+    Pop { max_batch: usize, scan: usize },
+}
+
+fn any_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0usize..3, 1u32..=0xffff).prop_map(|(class, bits)| Step::Offer { class, bits }),
+        (1usize..5, 0usize..8).prop_map(|(max_batch, scan)| Step::Pop { max_batch, scan }),
+    ]
+}
+
+fn set_from_bits(bits: u32) -> ResourceSet {
+    (0..32usize).filter(|i| bits >> i & 1 == 1).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Conservation under arbitrary offer/pop interleavings: admitted ==
+    /// popped ∪ still-queued with no duplicates, shed ids never reappear,
+    /// every batch is internally disjoint and headed by the oldest queued
+    /// request, and depth/quota bounds hold at every step.
+    #[test]
+    fn admission_conserves_and_bounds(
+        steps in vec(any_step(), 1..200),
+        max_depth in 1usize..12,
+        quota in prop_oneof![Just(None), (1usize..6).prop_map(Some)],
+    ) {
+        let classes = 3;
+        let mut q = AdmissionQueue::new(max_depth, classes, quota);
+        let mut next_id = 0u64;
+        let mut admitted: Vec<u64> = Vec::new(); // ids, in admission order
+        let mut shed: Vec<u64> = Vec::new();
+        let mut popped: Vec<u64> = Vec::new();
+
+        for step in steps {
+            match step {
+                Step::Offer { class, bits } => {
+                    let id = next_id;
+                    next_id += 1;
+                    let was_empty = q.is_empty();
+                    let verdict = q.offer(ServeReq {
+                        id,
+                        class,
+                        set: set_from_bits(bits),
+                        cs: Time::from_micros(10),
+                        arrival: Time::from_nanos(id),
+                    });
+                    match verdict {
+                        Admission::Admitted => admitted.push(id),
+                        Admission::ShedDepth | Admission::ShedClass => {
+                            prop_assert!(!was_empty, "an empty queue must admit");
+                            shed.push(id);
+                        }
+                    }
+                    prop_assert!(q.len() <= max_depth, "depth bound violated");
+                }
+                Step::Pop { max_batch, scan } => {
+                    let before = q.len();
+                    let batch = q.pop_batch(max_batch, scan);
+                    prop_assert_eq!(q.len(), before - batch.len());
+                    prop_assert!(batch.len() <= max_batch.max(1));
+                    if before > 0 {
+                        // The head of a batch is the oldest queued request.
+                        let oldest_queued = admitted
+                            .iter()
+                            .copied()
+                            .find(|id| !popped.contains(id))
+                            .expect("queue non-empty implies an unpopped admit");
+                        prop_assert_eq!(batch[0].id, oldest_queued);
+                    } else {
+                        prop_assert!(batch.is_empty());
+                    }
+                    // Pairwise disjoint within the batch.
+                    let mut union = ResourceSet::default();
+                    for r in &batch {
+                        prop_assert!(r.set.is_disjoint(&union), "overlapping batch");
+                        union.union_with(&r.set);
+                        popped.push(r.id);
+                    }
+                }
+            }
+        }
+
+        // No request granted after shed: popped ∩ shed = ∅.
+        for id in &popped {
+            prop_assert!(!shed.contains(id), "shed id {} was popped", id);
+        }
+        // No duplicates out.
+        let mut sorted = popped.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), popped.len(), "request popped twice");
+        // No admitted request lost: popped + drained == admitted exactly.
+        let mut remaining: Vec<u64> = q.drain().into_iter().map(|r| r.id).collect();
+        let mut all: Vec<u64> = popped.clone();
+        all.append(&mut remaining);
+        all.sort_unstable();
+        let mut want = admitted.clone();
+        want.sort_unstable();
+        prop_assert_eq!(all, want, "admitted set not conserved");
+        // Offer accounting is total: every id was admitted or shed.
+        prop_assert_eq!(admitted.len() + shed.len(), next_id as usize);
+    }
+}

@@ -18,6 +18,14 @@ use rand::rngs::StdRng;
 
 /// A request-generation model (implemented by `mra-workloads` for the
 /// paper's parameters; simple fixed models live in tests).
+///
+/// The four optional hooks exist for *open-loop* workloads (the serving
+/// layer in `mra-serve`): the engine reports its clock and the grant /
+/// release edges, and the workload may claim an **intended arrival time**
+/// for the request it just drew.  Closed-loop workloads (the paper's
+/// model) ignore all four — the defaults are no-ops, and an absent
+/// arrival makes the engine fall back to the issue instant, which is the
+/// closed-loop definition of arrival.
 pub trait Workload: Send {
     /// Draw the next think time (the paper's β).
     fn think_time(&mut self, rng: &mut StdRng) -> Time;
@@ -25,6 +33,27 @@ pub trait Workload: Send {
     /// Draw the next request: the resource set and the critical-section
     /// duration α (the paper couples α to the request size).
     fn next_request(&mut self, rng: &mut StdRng) -> (ResourceSet, Time);
+
+    /// The engine clock, reported immediately before [`Self::think_time`]
+    /// or [`Self::next_request`] runs.  Open-loop workloads advance their
+    /// arrival process to this instant; the default discards it.
+    fn set_now(&mut self, _now: Time) {}
+
+    /// The intended arrival time of the request most recently drawn by
+    /// [`Self::next_request`] — when it *would* have been issued had the
+    /// node not been busy.  `None` (the default) means "arrived when
+    /// issued": the engine then keys latency by the issue instant, which
+    /// is exact for closed-loop workloads and is precisely the
+    /// coordinated-omission bias for open-loop ones.
+    fn intended_arrival(&self) -> Option<Time> {
+        None
+    }
+
+    /// The request drawn by the last [`Self::next_request`] was granted.
+    fn on_grant(&mut self, _now: Time) {}
+
+    /// The corresponding critical section completed (resources released).
+    fn on_release(&mut self, _now: Time) {}
 }
 
 /// Lifecycle state of one driven node.

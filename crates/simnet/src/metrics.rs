@@ -16,7 +16,11 @@ pub struct ReqRecord {
     pub set: ResourceSet,
     /// Request size (`|set|` — the paper's `x`).
     pub size: usize,
-    /// Issue instant.
+    /// Intended arrival instant: when the request *entered the system*
+    /// (an open-loop generator's scheduled arrival).  Equals `issued` for
+    /// closed-loop workloads, and is never later than `issued`.
+    pub arrival: Time,
+    /// Issue instant (the CS request hit the protocol).
     pub issued: Time,
     /// Grant instant (CS entry), if reached before the run ended.
     pub granted: Option<Time>,
@@ -25,9 +29,18 @@ pub struct ReqRecord {
 }
 
 impl ReqRecord {
-    /// Waiting time (grant − issue), if granted.
+    /// Waiting time (grant − issue), if granted — the paper's §5.3
+    /// metric, measured from the protocol's point of view.
     pub fn wait(&self) -> Option<Time> {
         self.granted.map(|g| g - self.issued)
+    }
+
+    /// Serving latency (grant − intended arrival), if granted: what an
+    /// open-loop client experiences, queueing delay before issue
+    /// included.  Identical to [`ReqRecord::wait`] for closed-loop
+    /// workloads, where arrival and issue coincide.
+    pub fn serve_wait(&self) -> Option<Time> {
+        self.granted.map(|g| g - self.arrival)
     }
 }
 
@@ -170,6 +183,22 @@ impl RunResult {
         WaitStats::from_ms(ms)
     }
 
+    /// Serving-latency statistics (intended arrival → grant) over all
+    /// granted requests in the window: the open-loop client's view,
+    /// queueing delay before issue included.  For closed-loop workloads
+    /// this equals [`RunResult::wait_stats`]; under an open-loop
+    /// generator the gap between the two *is* the coordinated-omission
+    /// bias the issue-keyed metric hides.
+    pub fn serve_stats(&self) -> WaitStats {
+        let ms: Vec<f64> = self
+            .records
+            .iter()
+            .filter_map(|r| r.serve_wait())
+            .map(|t| t.as_millis_f64())
+            .collect();
+        WaitStats::from_ms(ms)
+    }
+
     /// Waiting-time statistics restricted to request sizes in `lo..=hi`
     /// (the paper's Fig. 7 buckets).
     pub fn wait_stats_sized(&self, lo: usize, hi: usize) -> WaitStats {
@@ -270,27 +299,32 @@ impl Collector {
         }
     }
 
-    /// A request was issued.
-    pub fn on_issue(&mut self, node: NodeId, set: ResourceSet, now: Time) {
+    /// A request was issued.  `arrival` is its intended arrival instant —
+    /// pass `now` for closed-loop workloads (arrival = issue); an
+    /// open-loop serving path passes the generator's scheduled arrival,
+    /// which is never later than `now`.
+    pub fn on_issue(&mut self, node: NodeId, set: ResourceSet, now: Time, arrival: Time) {
         debug_assert!(self.outstanding[node].is_none());
+        debug_assert!(arrival <= now, "arrival after issue");
         self.outstanding[node] = Some(ReqRecord {
             node,
             size: set.len(),
             set,
+            arrival,
             issued: now,
             granted: None,
             released: None,
         });
     }
 
-    /// The node entered its CS.  Returns the issue → grant waiting time
-    /// when a matching outstanding request exists (the tracer feeds it to
-    /// the live wait histogram without recomputing).
-    pub fn on_grant(&mut self, node: NodeId, now: Time) -> Option<Time> {
+    /// The node entered its CS.  Returns `(issue → grant, arrival →
+    /// grant)` when a matching outstanding request exists (the tracer
+    /// feeds them to the live wait/serve histograms without recomputing).
+    pub fn on_grant(&mut self, node: NodeId, now: Time) -> Option<(Time, Time)> {
         if let Some(rec) = self.outstanding[node].as_mut() {
             debug_assert!(rec.granted.is_none());
             rec.granted = Some(now);
-            Some(now - rec.issued)
+            Some((now - rec.issued, now - rec.arrival))
         } else {
             None
         }
@@ -456,11 +490,11 @@ mod tests {
     fn use_rate_counts_window_overlap_only() {
         let mut c = Collector::new(2, 2, (t(10), t(20)));
         // Node 0 uses resource 0 from 5 to 15: 5 ms inside the window.
-        c.on_issue(0, ResourceSet::singleton(0), t(4));
+        c.on_issue(0, ResourceSet::singleton(0), t(4), t(4));
         c.on_grant(0, t(5));
         c.on_release(0, t(15));
         // Node 1 uses resource 1 for the whole window and beyond.
-        c.on_issue(1, ResourceSet::singleton(1), t(1));
+        c.on_issue(1, ResourceSet::singleton(1), t(1), t(1));
         c.on_grant(1, t(2));
         c.on_release(1, t(30));
         let res = c.finish("x", 2, t(30));
@@ -474,10 +508,10 @@ mod tests {
     #[test]
     fn waiting_time_stats() {
         let mut c = Collector::new(2, 1, (t(0), t(100)));
-        c.on_issue(0, ResourceSet::singleton(0), t(10));
+        c.on_issue(0, ResourceSet::singleton(0), t(10), t(10));
         c.on_grant(0, t(14));
         c.on_release(0, t(20));
-        c.on_issue(1, ResourceSet::singleton(0), t(20));
+        c.on_issue(1, ResourceSet::singleton(0), t(20), t(20));
         c.on_grant(1, t(28));
         c.on_release(1, t(30));
         let res = c.finish("x", 2, t(100));
@@ -492,9 +526,27 @@ mod tests {
     }
 
     #[test]
+    fn serve_stats_key_by_arrival_not_issue() {
+        // A request that queued 6 ms before its CS could even be issued:
+        // the issue-keyed wait sees 4 ms, the arrival-keyed serving
+        // latency sees the full 10 ms — the coordinated-omission gap.
+        let mut c = Collector::new(1, 1, (t(0), t(100)));
+        c.on_issue(0, ResourceSet::singleton(0), t(16), t(10));
+        let (wait, serve) = c.on_grant(0, t(20)).unwrap();
+        assert_eq!(wait, t(4));
+        assert_eq!(serve, t(10));
+        c.on_release(0, t(25));
+        let res = c.finish("x", 1, t(100));
+        assert_eq!(res.records[0].wait(), Some(t(4)));
+        assert_eq!(res.records[0].serve_wait(), Some(t(10)));
+        assert!((res.wait_stats().mean_ms - 4.0).abs() < 1e-9);
+        assert!((res.serve_stats().mean_ms - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn censored_requests_counted() {
         let mut c = Collector::new(1, 1, (t(0), t(100)));
-        c.on_issue(0, ResourceSet::singleton(0), t(50));
+        c.on_issue(0, ResourceSet::singleton(0), t(50), t(50));
         let res = c.finish("x", 1, t(100));
         assert_eq!(res.censored, 1);
         let w = res.wait_stats();
@@ -507,7 +559,7 @@ mod tests {
     #[test]
     fn in_cs_at_end_contributes_busy_time() {
         let mut c = Collector::new(1, 1, (t(0), t(100)));
-        c.on_issue(0, ResourceSet::singleton(0), t(10));
+        c.on_issue(0, ResourceSet::singleton(0), t(10), t(10));
         c.on_grant(0, t(10));
         // never released: run ends at 100
         let res = c.finish("x", 1, t(100));
@@ -587,14 +639,14 @@ mod tests {
             let mut b = Collector::new(2, 2, (t(0), t(100)));
             {
                 let c = &mut a;
-                c.on_issue(0, ResourceSet::singleton(0), t(10));
+                c.on_issue(0, ResourceSet::singleton(0), t(10), t(10));
                 c.on_grant(0, t(14));
                 c.on_release(0, t(20));
                 c.on_message("A", 2);
             }
             {
                 let c = if split { &mut b } else { &mut a };
-                c.on_issue(1, ResourceSet::singleton(1), t(5));
+                c.on_issue(1, ResourceSet::singleton(1), t(5), t(5));
                 c.on_grant(1, t(8));
                 c.on_message("A", 2);
                 c.on_message("B", 1);

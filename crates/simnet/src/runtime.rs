@@ -183,13 +183,14 @@ pub fn drive_node<A, W, P>(
 
     ctx.set_now(shared.now());
     proto.on_init(&mut ctx);
-    flush_and_grants(me, &mut ctx, &mut driver, &mut port, shared, &mut None);
+    flush_and_grants(me, &mut ctx, &mut driver, &mut workload, &mut port, shared, &mut None);
 
     let mut rounds_left = if cfg.is_active { cfg.rounds } else { 0 };
     // The pending timer: think expiry or CS expiry, depending on state.
-    let mut deadline: Option<Instant> = cfg
-        .is_active
-        .then(|| Instant::now() + workload.think_time(&mut rng).to_std());
+    let mut deadline: Option<Instant> = cfg.is_active.then(|| {
+        workload.set_now(shared.now());
+        Instant::now() + workload.think_time(&mut rng).to_std()
+    });
     if !cfg.is_active {
         driver.park();
     }
@@ -214,19 +215,32 @@ pub fn drive_node<A, W, P>(
                     t.on_recv(from, me, msg.kind(), msg.weight() as u32, stamp);
                 }
                 proto.on_message(&mut ctx, from, msg);
-                flush_and_grants(me, &mut ctx, &mut driver, &mut port, shared, &mut deadline);
+                flush_and_grants(
+                    me,
+                    &mut ctx,
+                    &mut driver,
+                    &mut workload,
+                    &mut port,
+                    shared,
+                    &mut deadline,
+                );
             }
             PortEvent::TimedOut => {
                 // Timer fired.
                 match driver.state() {
                     DriverState::Thinking => {
+                        let now = shared.now();
+                        workload.set_now(now);
                         let set = driver.issue(&mut workload, &mut rng);
+                        // Open-loop workloads claim the request's intended
+                        // arrival; closed-loop ones arrive at issue.
+                        let arrival = workload.intended_arrival().unwrap_or(now).min(now);
                         if let Some(obs) = &shared.obs {
                             let mut t = lock(obs);
-                            t.set_key(shared.now(), 0);
+                            t.set_key(now, 0);
                             t.on_cs(EventKind::CsRequest, me, set.len() as u32);
                         }
-                        lock(&shared.collector).on_issue(me, set.clone(), shared.now());
+                        lock(&shared.collector).on_issue(me, set.clone(), now, arrival);
                         deadline = None; // wait for the grant
                         ctx.set_now(shared.now());
                         proto.request(&mut ctx, set);
@@ -234,6 +248,7 @@ pub fn drive_node<A, W, P>(
                             me,
                             &mut ctx,
                             &mut driver,
+                            &mut workload,
                             &mut port,
                             shared,
                             &mut deadline,
@@ -245,7 +260,9 @@ pub fn drive_node<A, W, P>(
                             t.set_key(shared.now(), 0);
                             t.on_cs(EventKind::CsExit, me, 0);
                         }
-                        lock(&shared.collector).on_release(me, shared.now());
+                        let now = shared.now();
+                        lock(&shared.collector).on_release(me, now);
+                        workload.on_release(now);
                         lock(&shared.monitor).exit(me);
                         driver.released();
                         ctx.set_now(shared.now());
@@ -255,6 +272,7 @@ pub fn drive_node<A, W, P>(
                             me,
                             &mut ctx,
                             &mut driver,
+                            &mut workload,
                             &mut port,
                             shared,
                             &mut deadline,
@@ -267,6 +285,7 @@ pub fn drive_node<A, W, P>(
                                 return;
                             }
                         } else {
+                            workload.set_now(shared.now());
                             deadline = Some(
                                 Instant::now() + workload.think_time(&mut rng).to_std(),
                             );
@@ -283,10 +302,11 @@ pub fn drive_node<A, W, P>(
 /// Drain the outbox onto the port and turn a grant edge into CS
 /// bookkeeping (+ CS-end timer).  The outbox drains in place (its
 /// capacity is the reused buffer), under one collector lock per burst.
-fn flush_and_grants<M: WireMsg, P: NodePort<M>>(
+fn flush_and_grants<M: WireMsg, W: Workload, P: NodePort<M>>(
     me: NodeId,
     ctx: &mut Ctx<M>,
     driver: &mut Driver,
+    workload: &mut W,
     port: &mut P,
     shared: &RunShared,
     deadline: &mut Option<Instant>,
@@ -313,12 +333,15 @@ fn flush_and_grants<M: WireMsg, P: NodePort<M>>(
         let set = driver.current_set();
         let size = set.len() as u32;
         lock(&shared.monitor).enter(me, set);
-        let wait = lock(&shared.collector).on_grant(me, shared.now());
+        let now = shared.now();
+        let waits = lock(&shared.collector).on_grant(me, now);
+        workload.on_grant(now);
         if let Some(obs) = &shared.obs {
             let mut t = lock(obs);
-            t.set_key(shared.now(), 0);
-            if let Some(w) = wait {
-                t.record_wait(w);
+            t.set_key(now, 0);
+            if let Some((wait, serve)) = waits {
+                t.record_wait(wait);
+                t.record_serve(serve);
             }
             t.on_cs(EventKind::CsEnter, me, size);
         }

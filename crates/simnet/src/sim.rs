@@ -478,6 +478,7 @@ impl<A: Allocator, W: Workload> Shard<A, W> {
             if i < self.active {
                 let think = {
                     let SimNode { workload, rng, .. } = &mut self.nodes[j];
+                    workload.set_now(Time::ZERO);
                     workload.think_time(rng)
                 };
                 let ord = self.local_ord(i);
@@ -625,9 +626,11 @@ impl<A: Allocator, W: Workload> Shard<A, W> {
             let size = set.len() as u32;
             let now = self.now;
             self.note_cs_enter(i, ord, set);
-            if let Some(wait) = self.collector.on_grant(i, now) {
+            if let Some((wait, serve)) = self.collector.on_grant(i, now) {
                 self.tracer.record_wait(wait);
+                self.tracer.record_serve(serve);
             }
+            self.nodes[j].workload.on_grant(now);
             self.tracer.on_cs(EventKind::CsEnter, i, size);
             let cs = self.nodes[j].driver.granted();
             let lord = self.local_ord(i);
@@ -845,17 +848,21 @@ impl<A: Allocator, W: Workload> Shard<A, W> {
                     self.nodes[j].driver.park();
                     return;
                 }
-                let set = {
+                let (set, arrival) = {
                     let SimNode {
                         driver,
                         workload,
                         rng,
                         ..
                     } = &mut self.nodes[j];
-                    driver.issue(workload, rng)
+                    workload.set_now(at);
+                    let set = driver.issue(workload, rng);
+                    // An open-loop workload claims the request's intended
+                    // arrival; closed-loop ones arrive when they issue.
+                    (set, workload.intended_arrival().unwrap_or(at).min(at))
                 };
                 self.tracer.on_cs(EventKind::CsRequest, i, set.len() as u32);
-                self.collector.on_issue(i, set.clone(), at);
+                self.collector.on_issue(i, set.clone(), at, arrival);
                 let node = &mut self.nodes[j];
                 node.ctx.set_now(at);
                 node.proto.request(&mut node.ctx, set);
@@ -888,6 +895,8 @@ impl<A: Allocator, W: Workload> Shard<A, W> {
                 self.post_dispatch(i, ord);
                 let think = {
                     let SimNode { workload, rng, .. } = &mut self.nodes[j];
+                    workload.on_release(at);
+                    workload.set_now(at);
                     workload.think_time(rng)
                 };
                 let lord = self.local_ord(i);

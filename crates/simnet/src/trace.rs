@@ -90,10 +90,10 @@ mod tests {
     #[test]
     fn renders_busy_intervals() {
         let mut c = Collector::new(2, 2, (t(0), t(100)));
-        c.on_issue(0, ResourceSet::singleton(0), t(0));
+        c.on_issue(0, ResourceSet::singleton(0), t(0), t(0));
         c.on_grant(0, t(0));
         c.on_release(0, t(50));
-        c.on_issue(1, ResourceSet::singleton(1), t(40));
+        c.on_issue(1, ResourceSet::singleton(1), t(40), t(40));
         c.on_grant(1, t(50));
         c.on_release(1, t(100));
         let res = c.finish("test", 2, t(100));

@@ -33,11 +33,13 @@ pub mod experiments;
 pub mod pool;
 pub mod runner;
 pub mod scenario;
+pub mod serve_runner;
 pub mod table;
 pub mod workload;
 
 pub use pool::{configured_threads, sweep};
 pub use runner::{run, Algorithm};
+pub use serve_runner::{run_serve, ServeOutcome, ServeScenario};
 pub use scenario::{Load, Scenario, ScenarioBuilder};
 pub use table::Table;
 pub use workload::PaperWorkload;

@@ -1,0 +1,227 @@
+//! One-call serving experiments: an open-loop [`ServeWorkload`] fleet
+//! driving any of the evaluation's algorithms through the simulator.
+//!
+//! This mirrors [`runner`](crate::runner) — same fleet construction per
+//! algorithm, same fault/reliability plumbing — but swaps the closed-loop
+//! [`PaperWorkload`](crate::workload::PaperWorkload) for the serving
+//! layer's admission front end, and returns the serving-side accounting
+//! (offered/admitted/shed, arrival-keyed latency histograms) next to the
+//! engine's [`RunResult`].
+
+use crate::runner::Algorithm;
+use crate::scenario::Scenario;
+use mra_baselines::{BouabdallahLaforest, Central, GrantPolicy, Incremental, Maddi};
+use mra_core::LassConfig;
+use mra_protocol::Allocator;
+use mra_serve::{check_conservation, ServeConfig, ServeStats, ServeWorkload, SharedServeStats};
+use mra_sim::faults::FaultPlan;
+use mra_sim::reliable::Reliability;
+use mra_sim::{RunResult, Sim, SimConfig};
+use mra_types::Time;
+
+/// A serving experiment: engine topology and timing from the [`Scenario`],
+/// arrival process and admission policy from the [`ServeConfig`].
+///
+/// The serve config's request shape is overridden with the scenario's
+/// `m`/`phi` so both layers agree on the resource universe.
+#[derive(Clone, Debug)]
+pub struct ServeScenario {
+    pub sc: Scenario,
+    pub serve: ServeConfig,
+}
+
+impl ServeScenario {
+    pub fn new(sc: Scenario, mut serve: ServeConfig) -> Self {
+        serve.shape.m = sc.m;
+        serve.shape.phi = sc.phi.max(1);
+        serve.seed ^= sc.seed.rotate_left(17);
+        ServeScenario { sc, serve }
+    }
+}
+
+/// Result of a serving run: engine metrics plus fleet-merged serving
+/// accounting, with the end-of-run queue/in-flight split derivable from
+/// the counters.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// Engine-side metrics (issue-keyed `wait_stats`, arrival-keyed
+    /// `serve_stats`, message counts, …).
+    pub result: RunResult,
+    /// Fleet-merged serving-layer accounting.
+    pub serve: ServeStats,
+    /// Virtual time during which nodes issue (warmup + measurement
+    /// window) — the denominator of the offered/goodput rates, so the two
+    /// share a span and `goodput ≤ offered` follows from conservation.
+    pub span: Time,
+}
+
+impl ServeOutcome {
+    /// Requests still waiting in admission queues when the run ended.
+    pub fn queued_end(&self) -> u64 {
+        self.serve.admitted - self.serve.batched_reqs
+    }
+
+    /// Requests issued to the allocator but not yet released at run end.
+    pub fn inflight_end(&self) -> u64 {
+        self.serve.batched_reqs - self.serve.served
+    }
+
+    /// Fleet-wide *measured* offered load in requests/second over the
+    /// issuing span.
+    pub fn offered_hz(&self) -> f64 {
+        let span = self.span.as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.serve.offered as f64 / span
+    }
+
+    /// Goodput: fully served requests per second of the issuing span.
+    /// Never exceeds [`offered_hz`](Self::offered_hz): both rates share a
+    /// denominator and `served ≤ offered` by conservation.
+    pub fn goodput_hz(&self) -> f64 {
+        let span = self.span.as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.serve.served as f64 / span
+    }
+
+    /// Serving-layer conservation check (see
+    /// [`check_conservation`](mra_serve::check_conservation)).
+    pub fn check(&self) -> Result<(), String> {
+        check_conservation(&self.serve, self.queued_end(), self.inflight_end())
+    }
+}
+
+fn launch<A: Allocator + Send>(
+    nodes: Vec<A>,
+    active: usize,
+    slots: usize,
+    ssc: &ServeScenario,
+    cfg: SimConfig,
+    faults: Option<&FaultPlan>,
+    reliability: Option<Reliability>,
+) -> ServeOutcome {
+    let (workloads, handles): (Vec<ServeWorkload>, Vec<SharedServeStats>) = {
+        let (w, h) = ServeWorkload::fleet(&ssc.serve, slots);
+        (w, h)
+    };
+    let span = cfg.warmup + cfg.measure;
+    let mut sim = Sim::new(nodes, workloads, ssc.sc.m, cfg);
+    if let Some(plan) = faults {
+        sim.set_fault_plan(plan.clone());
+    }
+    if let Some(rel) = reliability {
+        sim.set_reliability(rel);
+    }
+    sim.set_tracing(mra_sim::obs::trace_mode_from_env());
+    let result = sim.run();
+    // Passive slots (a central coordinator) never issue; merging their
+    // untouched stats is harmless, but restricting to active nodes keeps
+    // `offered` a function of the arrival processes that actually ran.
+    let serve = SharedServeStats::merge_all(&handles[..active]);
+    ServeOutcome {
+        result,
+        serve,
+        span,
+    }
+}
+
+/// Run one serving scenario under one algorithm — the serving-layer
+/// counterpart of [`runner::run_configured`](crate::runner::run_configured).
+pub fn run_serve(
+    algo: Algorithm,
+    ssc: &ServeScenario,
+    faults: Option<&FaultPlan>,
+    reliability: Option<Reliability>,
+) -> ServeOutcome {
+    let sc = &ssc.sc;
+    match algo {
+        Algorithm::Incremental => {
+            let nodes = Incremental::build_nodes(sc.n, sc.m);
+            launch(nodes, sc.n, sc.n, ssc, sc.sim_config(), faults, reliability)
+        }
+        Algorithm::BouabdallahLaforest => {
+            let nodes = BouabdallahLaforest::build_nodes(sc.n, sc.m);
+            launch(nodes, sc.n, sc.n, ssc, sc.sim_config(), faults, reliability)
+        }
+        Algorithm::LassNoLoan => {
+            let mut cfg = LassConfig::without_loan(sc.n, sc.m);
+            cfg.policy = sc.policy;
+            let nodes = cfg.build_nodes();
+            launch(nodes, sc.n, sc.n, ssc, sc.sim_config(), faults, reliability)
+        }
+        Algorithm::LassLoan => {
+            let mut cfg = LassConfig::with_loan(sc.n, sc.m);
+            cfg.policy = sc.policy;
+            cfg.loan = Some(sc.loan_threshold);
+            let nodes = cfg.build_nodes();
+            launch(nodes, sc.n, sc.n, ssc, sc.sim_config(), faults, reliability)
+        }
+        Algorithm::Central | Algorithm::CentralGreedy => {
+            let policy = if algo == Algorithm::Central {
+                GrantPolicy::Conservative
+            } else {
+                GrantPolicy::Greedy
+            };
+            let nodes = Central::build_nodes(sc.n, policy);
+            let mut cfg = sc.sim_config_zero_latency();
+            cfg.active_nodes = Some(sc.n);
+            // One extra (passive) workload slot for the coordinator.
+            launch(nodes, sc.n, sc.n + 1, ssc, cfg, faults, reliability)
+        }
+        Algorithm::Maddi => {
+            let nodes = Maddi::build_nodes(sc.n, sc.m);
+            launch(nodes, sc.n, sc.n, ssc, sc.sim_config(), faults, reliability)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Load;
+
+    fn ssc(rate_hz: f64, seed: u64) -> ServeScenario {
+        let sc = Scenario::builder()
+            .nodes(6)
+            .resources(12)
+            .max_request_size(3)
+            .load(Load::Medium)
+            .seed(seed)
+            .measure_secs(1.0)
+            .build();
+        let serve = ServeConfig {
+            rate_hz,
+            ..ServeConfig::default()
+        };
+        ServeScenario::new(sc, serve)
+    }
+
+    #[test]
+    fn serve_run_conserves_and_completes() {
+        let out = run_serve(Algorithm::LassLoan, &ssc(150.0, 3), None, None);
+        assert!(out.serve.served > 0, "no requests served");
+        assert!(out.result.cs_completed > 0);
+        out.check().expect("conservation");
+        // Goodput can never exceed what was offered.
+        assert!(out.serve.served <= out.serve.offered);
+        // Arrival-keyed latency dominates issue-keyed latency.
+        let serve = out.result.serve_stats();
+        let wait = out.result.wait_stats();
+        assert!(serve.count == wait.count);
+        assert!(serve.mean_ms >= wait.mean_ms);
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = run_serve(Algorithm::LassNoLoan, &ssc(200.0, 9), None, None);
+        let b = run_serve(Algorithm::LassNoLoan, &ssc(200.0, 9), None, None);
+        assert_eq!(a.result.cs_completed, b.result.cs_completed);
+        assert_eq!(a.result.msgs_total, b.result.msgs_total);
+        assert_eq!(a.serve.offered, b.serve.offered);
+        assert_eq!(a.serve.served, b.serve.served);
+        assert_eq!(a.serve.grant_latency.p99(), b.serve.grant_latency.p99());
+    }
+}

@@ -21,6 +21,9 @@
 //!   histograms and per-link network counters, shared by all substrates.
 //! * [`protocol`] — the engine-independent `Allocator` interface, the
 //!   binary wire codec and a randomized virtual network for testing.
+//! * [`serve`] — the allocation-as-a-service front end: open-loop arrival
+//!   generators, the bounded admission queue with batching and per-class
+//!   quotas, and arrival-keyed end-to-end latency accounting.
 //! * [`sim`] — the deterministic discrete-event simulator, workload driver,
 //!   metrics, Gantt tracing and the threaded runtime.
 //! * [`workloads`] — the paper's workload model and experiment harness.
@@ -51,6 +54,7 @@ pub use mra_mutex as mutex;
 pub use mra_net as net;
 pub use mra_obs as obs;
 pub use mra_protocol as protocol;
+pub use mra_serve as serve;
 pub use mra_sim as sim;
 pub use mra_types as types;
 pub use mra_workloads as workloads;
